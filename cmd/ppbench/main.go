@@ -1,0 +1,83 @@
+// Command ppbench regenerates every table and figure of "Practical Predicate
+// Placement" (Hellerstein, SIGMOD 1994) against the reproduction's benchmark
+// database.
+//
+// Usage:
+//
+//	ppbench [-scale 0.1] [-exp all|table1|table2|fig1|fig3|fig4|fig5|fig6|fig8|fig9|fig10|plantime|caching]
+//
+// Measurements are charged costs in random-I/O units (page I/Os plus
+// function invocations × per-call cost — the paper's methodology), reported
+// relative to the best plan per query.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"predplace/internal/harness"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.1, "database scale factor (1.0 = the paper's ~110 MB)")
+	exp := flag.String("exp", "all", "experiment id or 'all'")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("experiments: all", strings.Join(experimentIDs(), " "))
+		return
+	}
+
+	fmt.Fprintf(os.Stderr, "building benchmark database at scale %.3f…\n", *scale)
+	h, err := harness.New(*scale)
+	if err != nil {
+		fatal(err)
+	}
+
+	var reports []*harness.Report
+	if *exp == "all" {
+		reports, err = h.RunAll()
+	} else {
+		run, ok := h.Experiments()[*exp]
+		if !ok {
+			fatal(fmt.Errorf("unknown experiment %q; try -list", *exp))
+		}
+		var r *harness.Report
+		r, err = run()
+		reports = []*harness.Report{r}
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	failed := 0
+	for _, r := range reports {
+		fmt.Println(r)
+		if !r.Passed() {
+			failed++
+		}
+	}
+	fmt.Printf("%d/%d experiments reproduced the paper's shape\n", len(reports)-failed, len(reports))
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+func experimentIDs() []string {
+	h := &harness.Harness{}
+	ids := make([]string, 0, 12)
+	for id := range h.Experiments() {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ppbench:", err)
+	os.Exit(1)
+}

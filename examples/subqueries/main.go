@@ -1,0 +1,63 @@
+// Subqueries reproduces §5.1's correlated IN-subquery example: the System
+// R-era form of an expensive predicate. The whole IN predicate is cached on
+// its (student.mother, student.dept) binding — true, false, or NULL — never
+// the subquery's (set-valued) result, exactly as Montage did.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"predplace"
+)
+
+func main() {
+	db, err := predplace.Open(predplace.Config{Caching: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if err := db.CreateTable("student", []predplace.ColumnSpec{
+		{Name: "id"}, {Name: "gpa"}, {Name: "mother"}, {Name: "dept"},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	if err := db.CreateTable("professor", []predplace.ColumnSpec{
+		{Name: "name"}, {Name: "dept"},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	for p := 0; p < 200; p++ {
+		if err := db.Insert("professor", p, p%8); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for s := 0; s < 2000; s++ {
+		// Mothers drawn from a pool of 400 names; many students share a
+		// (mother, dept) binding, so predicate caching pays off.
+		if err := db.Insert("student", s, 20+s%21, s%400, s%8); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for _, t := range []string{"student", "professor"} {
+		if err := db.Analyze(t); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	const q = `SELECT student.id, student.gpa FROM student
+		WHERE student.gpa >= 38 AND student.mother IN
+		(SELECT name FROM professor WHERE professor.dept = student.dept)`
+
+	res, err := db.Query(q, predplace.Migration)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("plan:")
+	fmt.Print(res.Plan)
+	fmt.Printf("\n%d students found; %s\n", res.Stats.Rows, res.Stats)
+	fmt.Printf("predicate cache: %d hits, %d misses\n", res.Stats.CacheHits, res.Stats.CacheMisses)
+	fmt.Println("\nNote how the free gpa comparison runs below the expensive IN predicate:")
+	fmt.Println("rank ordering applies the cheap filter first, and each distinct")
+	fmt.Println("(mother, dept) binding runs the correlated subquery at most once.")
+}

@@ -1,0 +1,3 @@
+module predplace
+
+go 1.22

@@ -1,0 +1,197 @@
+// Package catalog holds schema metadata, table statistics, and the
+// user-defined function registry — the "system metadata" the paper's
+// optimizer consults for predicate costs and selectivities.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"predplace/internal/btree"
+	"predplace/internal/expr"
+	"predplace/internal/storage"
+)
+
+// Column describes one attribute of a table.
+type Column struct {
+	// Name of the column. Per the benchmark convention, names beginning
+	// with 'u' are unindexed; a numeric suffix gives the approximate number
+	// of times each value repeats.
+	Name string
+	// Type of the column's values.
+	Type expr.Type
+	// FixedLen is the encoded width in bytes for string columns (tuples are
+	// fixed-width, 100 bytes, per the paper's schema). Ignored for ints.
+	FixedLen int
+	// Distinct estimates the number of distinct values (statistics).
+	Distinct int64
+	// Min and Max bound integer column values (statistics).
+	Min, Max int64
+	// Hist is an optional equi-depth histogram (built by ANALYZE) used for
+	// range-selectivity estimation under skew.
+	Hist *Histogram
+}
+
+// Table is a stored relation: schema, heap file, indexes, and statistics.
+type Table struct {
+	Name    string
+	Columns []Column
+	Heap    *storage.HeapFile
+	// Indexes maps column name → B-tree over that column (int columns only).
+	Indexes map[string]*btree.Tree
+	// Card is the tuple count.
+	Card int64
+	// TupleBytes is the fixed encoded tuple width.
+	TupleBytes int
+	// Codec encodes and decodes this table's rows.
+	Codec *RowCodec
+}
+
+// Pages returns the number of heap pages (for cost estimation).
+func (t *Table) Pages() int64 {
+	if t.Heap == nil {
+		perPage := int64(1)
+		if t.TupleBytes > 0 {
+			perPage = int64((storage.PageSize - 8) / (t.TupleBytes + 4))
+		}
+		if perPage < 1 {
+			perPage = 1
+		}
+		return (t.Card + perPage - 1) / perPage
+	}
+	return int64(t.Heap.NumPages())
+}
+
+// ColIndex returns the position of the named column, or -1.
+func (t *Table) ColIndex(name string) int {
+	for i := range t.Columns {
+		if t.Columns[i].Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Column returns the named column's metadata.
+func (t *Table) Column(name string) (*Column, error) {
+	i := t.ColIndex(name)
+	if i < 0 {
+		return nil, fmt.Errorf("catalog: table %s has no column %s", t.Name, name)
+	}
+	return &t.Columns[i], nil
+}
+
+// HasIndex reports whether the named column has a B-tree index.
+func (t *Table) HasIndex(col string) bool {
+	_, ok := t.Indexes[col]
+	return ok
+}
+
+// Catalog is the collection of tables and registered functions.
+type Catalog struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+	funcs  map[string]*expr.FuncDef
+}
+
+// New creates an empty catalog.
+func New() *Catalog {
+	return &Catalog{
+		tables: make(map[string]*Table),
+		funcs:  make(map[string]*expr.FuncDef),
+	}
+}
+
+// AddTable registers a table. The name must be unused.
+func (c *Catalog) AddTable(t *Table) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.tables[t.Name]; dup {
+		return fmt.Errorf("catalog: table %s already exists", t.Name)
+	}
+	if t.Indexes == nil {
+		t.Indexes = make(map[string]*btree.Tree)
+	}
+	c.tables[t.Name] = t
+	return nil
+}
+
+// Table looks up a table by name.
+func (c *Catalog) Table(name string) (*Table, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("catalog: no such table %q", name)
+	}
+	return t, nil
+}
+
+// Tables returns all tables sorted by name.
+func (c *Catalog) Tables() []*Table {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*Table, 0, len(c.tables))
+	for _, t := range c.tables {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// RegisterFunc adds a user-defined function to the metadata.
+func (c *Catalog) RegisterFunc(f *expr.FuncDef) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.funcs[f.Name]; dup {
+		return fmt.Errorf("catalog: function %s already registered", f.Name)
+	}
+	c.funcs[f.Name] = f
+	return nil
+}
+
+// Func looks up a registered function.
+func (c *Catalog) Func(name string) (*expr.FuncDef, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	f, ok := c.funcs[name]
+	if !ok {
+		return nil, fmt.Errorf("catalog: no such function %q", name)
+	}
+	return f, nil
+}
+
+// Funcs returns all registered functions sorted by name.
+func (c *Catalog) Funcs() []*expr.FuncDef {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*expr.FuncDef, 0, len(c.funcs))
+	for _, f := range c.funcs {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ResetFuncCounters zeroes every function's invocation counter; the harness
+// calls this before each measured query.
+func (c *Catalog) ResetFuncCounters() {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, f := range c.funcs {
+		f.ResetCalls()
+	}
+}
+
+// ChargedFuncCost sums invocations × cost across all functions since the
+// last reset — the paper's function-cost charge for a query.
+func (c *Catalog) ChargedFuncCost() float64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var total float64
+	for _, f := range c.funcs {
+		total += f.ChargedCost()
+	}
+	return total
+}

@@ -1,0 +1,210 @@
+package catalog
+
+import (
+	"testing"
+	"testing/quick"
+
+	"predplace/internal/expr"
+)
+
+func testCols() []Column {
+	return []Column{
+		{Name: "a1", Type: expr.TInt, Distinct: 100, Min: 0, Max: 99},
+		{Name: "u20", Type: expr.TInt, Distinct: 5, Min: 0, Max: 4},
+		{Name: "str", Type: expr.TString, FixedLen: 16},
+	}
+}
+
+func TestCatalogTables(t *testing.T) {
+	c := New()
+	tb := &Table{Name: "t1", Columns: testCols(), Card: 100}
+	if err := c.AddTable(tb); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddTable(&Table{Name: "t1"}); err == nil {
+		t.Fatal("duplicate table should fail")
+	}
+	got, err := c.Table("t1")
+	if err != nil || got != tb {
+		t.Fatalf("Table lookup: %v %v", got, err)
+	}
+	if _, err := c.Table("nope"); err == nil {
+		t.Fatal("missing table should error")
+	}
+	c.AddTable(&Table{Name: "a_first"})
+	names := []string{}
+	for _, tab := range c.Tables() {
+		names = append(names, tab.Name)
+	}
+	if len(names) != 2 || names[0] != "a_first" || names[1] != "t1" {
+		t.Fatalf("Tables() order: %v", names)
+	}
+}
+
+func TestTableColumnLookup(t *testing.T) {
+	tb := &Table{Name: "t", Columns: testCols()}
+	if tb.ColIndex("u20") != 1 {
+		t.Fatal("ColIndex wrong")
+	}
+	if tb.ColIndex("zzz") != -1 {
+		t.Fatal("missing column should be -1")
+	}
+	col, err := tb.Column("a1")
+	if err != nil || col.Name != "a1" {
+		t.Fatal("Column lookup failed")
+	}
+	if _, err := tb.Column("zzz"); err == nil {
+		t.Fatal("missing column should error")
+	}
+}
+
+func TestPagesEstimateWithoutHeap(t *testing.T) {
+	tb := &Table{Name: "t", Card: 10000, TupleBytes: 100}
+	// ~78 tuples/page -> ~129 pages
+	p := tb.Pages()
+	if p < 120 || p > 140 {
+		t.Fatalf("Pages() = %d", p)
+	}
+}
+
+func TestFuncRegistry(t *testing.T) {
+	c := New()
+	f := expr.NewCostly("costly10", 1, 10, 0.5, 1)
+	if err := c.RegisterFunc(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RegisterFunc(f); err == nil {
+		t.Fatal("duplicate function should fail")
+	}
+	got, err := c.Func("costly10")
+	if err != nil || got != f {
+		t.Fatal("Func lookup failed")
+	}
+	if _, err := c.Func("nope"); err == nil {
+		t.Fatal("missing function should error")
+	}
+	f.Invoke([]expr.Value{expr.I(1)})
+	f.Invoke([]expr.Value{expr.I(2)})
+	if c.ChargedFuncCost() != 20 {
+		t.Fatalf("ChargedFuncCost = %v", c.ChargedFuncCost())
+	}
+	c.ResetFuncCounters()
+	if c.ChargedFuncCost() != 0 {
+		t.Fatal("ResetFuncCounters failed")
+	}
+	if len(c.Funcs()) != 1 {
+		t.Fatal("Funcs() wrong")
+	}
+}
+
+func TestRowCodecRoundTrip(t *testing.T) {
+	rc, err := NewRowCodec(testCols())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := []expr.Row{
+		{expr.I(5), expr.I(2), expr.S("hello")},
+		{expr.I(-9), expr.Null, expr.S("")},
+		{expr.Null, expr.I(0), expr.Null},
+	}
+	for _, row := range rows {
+		rec, err := rc.Encode(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rec) != rc.Width() {
+			t.Fatalf("record width %d, want %d", len(rec), rc.Width())
+		}
+		got, err := rc.Decode(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range row {
+			if !got[i].Equal(row[i]) {
+				t.Fatalf("col %d: %v != %v", i, got[i], row[i])
+			}
+		}
+	}
+}
+
+func TestRowCodecRoundTripQuick(t *testing.T) {
+	rc, err := NewRowCodec(testCols())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b int64, s string) bool {
+		if len(s) > 16 {
+			s = s[:16]
+		}
+		// avoid trailing NULs (padding is not distinguishable from them)
+		for len(s) > 0 && s[len(s)-1] == 0 {
+			s = s[:len(s)-1]
+		}
+		row := expr.Row{expr.I(a), expr.I(b), expr.S(s)}
+		rec, err := rc.Encode(row)
+		if err != nil {
+			return false
+		}
+		got, err := rc.Decode(rec)
+		if err != nil {
+			return false
+		}
+		return got[0].Equal(row[0]) && got[1].Equal(row[1]) && got[2].Equal(row[2])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRowCodecErrors(t *testing.T) {
+	rc, _ := NewRowCodec(testCols())
+	if _, err := rc.Encode(expr.Row{expr.I(1)}); err == nil {
+		t.Fatal("arity mismatch should fail")
+	}
+	if _, err := rc.Encode(expr.Row{expr.S("x"), expr.I(1), expr.S("y")}); err == nil {
+		t.Fatal("type mismatch should fail")
+	}
+	if _, err := rc.Encode(expr.Row{expr.I(1), expr.I(2), expr.S("this string is way too long for 16")}); err == nil {
+		t.Fatal("overlong string should fail")
+	}
+	if _, err := rc.Decode(make([]byte, 3)); err == nil {
+		t.Fatal("short record should fail")
+	}
+	if _, err := NewRowCodec([]Column{{Name: "s", Type: expr.TString}}); err == nil {
+		t.Fatal("string without FixedLen should fail")
+	}
+}
+
+func TestDecodeCol(t *testing.T) {
+	rc, _ := NewRowCodec(testCols())
+	row := expr.Row{expr.I(7), expr.Null, expr.S("abc")}
+	rec, _ := rc.Encode(row)
+	for i := range row {
+		got, err := rc.DecodeCol(rec, i)
+		if err != nil || !got.Equal(row[i]) {
+			t.Fatalf("DecodeCol(%d) = %v, %v", i, got, err)
+		}
+	}
+	if _, err := rc.DecodeCol(rec, 9); err == nil {
+		t.Fatal("out-of-range column should fail")
+	}
+}
+
+func TestCodec100ByteTuples(t *testing.T) {
+	// The benchmark schema must produce exactly 100-byte tuples: 7 int
+	// columns (63 bytes) + 1 string filler of 36 bytes (37 with flag).
+	cols := []Column{
+		{Name: "a1", Type: expr.TInt}, {Name: "a10", Type: expr.TInt},
+		{Name: "a100", Type: expr.TInt}, {Name: "ua1", Type: expr.TInt},
+		{Name: "u10", Type: expr.TInt}, {Name: "u20", Type: expr.TInt},
+		{Name: "u100", Type: expr.TInt},
+		{Name: "str", Type: expr.TString, FixedLen: 36},
+	}
+	rc, err := NewRowCodec(cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.Width() != 100 {
+		t.Fatalf("tuple width = %d, want 100", rc.Width())
+	}
+}

@@ -1,0 +1,156 @@
+package catalog
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"predplace/internal/expr"
+)
+
+// RowCodec encodes rows of a table's schema into fixed-width byte records.
+// Integers take 9 bytes (1 null flag + 8 value); strings take 1 null flag +
+// FixedLen bytes, NUL-padded. The benchmark schema pads every tuple to the
+// paper's 100 bytes via a trailing string filler column.
+type RowCodec struct {
+	cols  []Column
+	width int
+}
+
+// NewRowCodec builds a codec for the given columns.
+func NewRowCodec(cols []Column) (*RowCodec, error) {
+	w := 0
+	for _, c := range cols {
+		switch c.Type {
+		case expr.TInt, expr.TBool:
+			w += 9
+		case expr.TString:
+			if c.FixedLen <= 0 {
+				return nil, fmt.Errorf("catalog: string column %s needs FixedLen", c.Name)
+			}
+			w += 1 + c.FixedLen
+		default:
+			return nil, fmt.Errorf("catalog: unsupported column type %v for %s", c.Type, c.Name)
+		}
+	}
+	return &RowCodec{cols: append([]Column(nil), cols...), width: w}, nil
+}
+
+// Width returns the fixed encoded record width in bytes.
+func (rc *RowCodec) Width() int { return rc.width }
+
+// Encode serializes row (which must match the schema arity) into a record.
+func (rc *RowCodec) Encode(row expr.Row) ([]byte, error) {
+	if len(row) != len(rc.cols) {
+		return nil, fmt.Errorf("catalog: row arity %d, schema arity %d", len(row), len(rc.cols))
+	}
+	out := make([]byte, 0, rc.width)
+	for i, c := range rc.cols {
+		v := row[i]
+		if v.IsNull() {
+			out = append(out, 0)
+			switch c.Type {
+			case expr.TInt, expr.TBool:
+				out = append(out, make([]byte, 8)...)
+			case expr.TString:
+				out = append(out, make([]byte, c.FixedLen)...)
+			}
+			continue
+		}
+		out = append(out, 1)
+		switch c.Type {
+		case expr.TInt, expr.TBool:
+			if v.Kind != expr.TInt && v.Kind != expr.TBool {
+				return nil, fmt.Errorf("catalog: column %s wants int, got %v", c.Name, v.Kind)
+			}
+			var buf [8]byte
+			binary.LittleEndian.PutUint64(buf[:], uint64(v.I))
+			out = append(out, buf[:]...)
+		case expr.TString:
+			if v.Kind != expr.TString {
+				return nil, fmt.Errorf("catalog: column %s wants string, got %v", c.Name, v.Kind)
+			}
+			if len(v.S) > c.FixedLen {
+				return nil, fmt.Errorf("catalog: value %q exceeds column %s width %d", v.S, c.Name, c.FixedLen)
+			}
+			buf := make([]byte, c.FixedLen)
+			copy(buf, v.S)
+			out = append(out, buf...)
+		}
+	}
+	return out, nil
+}
+
+// Decode deserializes a record into a row.
+func (rc *RowCodec) Decode(rec []byte) (expr.Row, error) {
+	if len(rec) != rc.width {
+		return nil, fmt.Errorf("catalog: record length %d, want %d", len(rec), rc.width)
+	}
+	row := make(expr.Row, len(rc.cols))
+	off := 0
+	for i, c := range rc.cols {
+		notNull := rec[off] == 1
+		off++
+		switch c.Type {
+		case expr.TInt, expr.TBool:
+			if notNull {
+				v := int64(binary.LittleEndian.Uint64(rec[off : off+8]))
+				if c.Type == expr.TBool {
+					row[i] = expr.B(v != 0)
+				} else {
+					row[i] = expr.I(v)
+				}
+			} else {
+				row[i] = expr.Null
+			}
+			off += 8
+		case expr.TString:
+			if notNull {
+				b := rec[off : off+c.FixedLen]
+				end := len(b)
+				for end > 0 && b[end-1] == 0 {
+					end--
+				}
+				row[i] = expr.S(string(b[:end]))
+			} else {
+				row[i] = expr.Null
+			}
+			off += c.FixedLen
+		}
+	}
+	return row, nil
+}
+
+// DecodeCol extracts a single column's value from a record without decoding
+// the whole row (used by index builds and key probes).
+func (rc *RowCodec) DecodeCol(rec []byte, idx int) (expr.Value, error) {
+	if idx < 0 || idx >= len(rc.cols) {
+		return expr.Null, fmt.Errorf("catalog: column index %d out of range", idx)
+	}
+	off := 0
+	for i := 0; i < idx; i++ {
+		switch rc.cols[i].Type {
+		case expr.TInt, expr.TBool:
+			off += 9
+		case expr.TString:
+			off += 1 + rc.cols[i].FixedLen
+		}
+	}
+	c := rc.cols[idx]
+	if rec[off] == 0 {
+		return expr.Null, nil
+	}
+	off++
+	switch c.Type {
+	case expr.TInt:
+		return expr.I(int64(binary.LittleEndian.Uint64(rec[off : off+8]))), nil
+	case expr.TBool:
+		return expr.B(binary.LittleEndian.Uint64(rec[off:off+8]) != 0), nil
+	default:
+		b := rec[off : off+c.FixedLen]
+		end := len(b)
+		for end > 0 && b[end-1] == 0 {
+			end--
+		}
+		return expr.S(string(b[:end])), nil
+	}
+}

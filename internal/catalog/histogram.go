@@ -1,0 +1,128 @@
+package catalog
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Histogram is an equi-depth histogram over an integer column: each bucket
+// holds (approximately) the same number of values, so selectivity estimates
+// stay accurate under skew where the System R min/max interpolation (which
+// assumes uniformity) degrades. The harness's uniform benchmark data does
+// not need them; user tables loaded through Analyze get them for free.
+type Histogram struct {
+	// Bounds has len(Counts)+1 entries; bucket i covers values v with
+	// Bounds[i] <= v <= Bounds[i+1] (the last bucket's upper bound is the
+	// column maximum, inclusive).
+	Bounds []int64
+	// Counts holds the number of values per bucket.
+	Counts []int64
+	// HiCounts holds, per bucket, how many values equal the bucket's upper
+	// bound ("end-biased" refinement: because buckets never split a value
+	// run, the upper bound's whole run lies in its bucket, making estimates
+	// at bucket boundaries — where heavy values land — exact).
+	HiCounts []int64
+	// Total is the number of values summarized.
+	Total int64
+}
+
+// BuildHistogram constructs an equi-depth histogram with at most `buckets`
+// buckets from a sample of column values. It returns nil for empty input.
+func BuildHistogram(values []int64, buckets int) *Histogram {
+	if len(values) == 0 || buckets < 1 {
+		return nil
+	}
+	sorted := append([]int64(nil), values...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if buckets > len(sorted) {
+		buckets = len(sorted)
+	}
+	h := &Histogram{Total: int64(len(sorted))}
+	h.Bounds = append(h.Bounds, sorted[0])
+	per := len(sorted) / buckets
+	rem := len(sorted) % buckets
+	idx := 0
+	for b := 0; b < buckets && idx < len(sorted); b++ {
+		n := per
+		if b < rem {
+			n++
+		}
+		if b == buckets-1 || idx+n > len(sorted) {
+			n = len(sorted) - idx // last bucket (or duplicate overrun) takes the rest
+		}
+		if n <= 0 {
+			n = 1
+		}
+		idx += n
+		// Extend the bucket so equal values never straddle a boundary.
+		for idx < len(sorted) && sorted[idx] == sorted[idx-1] {
+			idx++
+			n++
+		}
+		h.Bounds = append(h.Bounds, sorted[idx-1])
+		h.Counts = append(h.Counts, int64(n))
+		run := int64(1)
+		for k := idx - 1; k > 0 && sorted[k-1] == sorted[idx-1]; k-- {
+			run++
+		}
+		if run > int64(n) {
+			run = int64(n)
+		}
+		h.HiCounts = append(h.HiCounts, run)
+	}
+	return h
+}
+
+// SelLT estimates the fraction of values strictly less than v, interpolating
+// linearly inside the containing bucket.
+func (h *Histogram) SelLT(v int64) float64 {
+	if h == nil || h.Total == 0 {
+		return 1.0 / 3.0
+	}
+	if v <= h.Bounds[0] {
+		return 0
+	}
+	if v > h.Bounds[len(h.Bounds)-1] {
+		return 1
+	}
+	var below int64
+	for i, c := range h.Counts {
+		lo, hi := h.Bounds[i], h.Bounds[i+1]
+		if v > hi {
+			below += c
+			continue
+		}
+		if v == hi {
+			// Exact at bucket boundaries: everything in the bucket except
+			// the upper bound's own run is below it.
+			return (float64(below) + float64(c-h.HiCounts[i])) / float64(h.Total)
+		}
+		// v falls strictly inside bucket i: interpolate over the mass that
+		// is not pinned to the upper bound.
+		width := hi - lo
+		if width <= 0 {
+			return float64(below) / float64(h.Total)
+		}
+		frac := float64(v-lo) / float64(width)
+		return (float64(below) + frac*float64(c-h.HiCounts[i])) / float64(h.Total)
+	}
+	return 1
+}
+
+// SelLE estimates the fraction of values ≤ v.
+func (h *Histogram) SelLE(v int64) float64 { return h.SelLT(v + 1) }
+
+// SelGT estimates the fraction of values > v.
+func (h *Histogram) SelGT(v int64) float64 { return 1 - h.SelLE(v) }
+
+// SelGE estimates the fraction of values ≥ v.
+func (h *Histogram) SelGE(v int64) float64 { return 1 - h.SelLT(v) }
+
+// String summarizes the histogram for catalogs and debugging.
+func (h *Histogram) String() string {
+	if h == nil {
+		return "hist(none)"
+	}
+	return fmt.Sprintf("hist(%d buckets, %d values, [%d..%d])",
+		len(h.Counts), h.Total, h.Bounds[0], h.Bounds[len(h.Bounds)-1])
+}

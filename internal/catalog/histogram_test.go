@@ -1,0 +1,131 @@
+package catalog
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramUniform(t *testing.T) {
+	values := make([]int64, 1000)
+	for i := range values {
+		values[i] = int64(i)
+	}
+	h := BuildHistogram(values, 16)
+	if h == nil || h.Total != 1000 {
+		t.Fatalf("histogram = %v", h)
+	}
+	for _, c := range []struct {
+		v    int64
+		want float64
+	}{{0, 0}, {250, 0.25}, {500, 0.5}, {999, 0.999}, {2000, 1}} {
+		got := h.SelLT(c.v)
+		if math.Abs(got-c.want) > 0.03 {
+			t.Errorf("SelLT(%d) = %v, want ~%v", c.v, got, c.want)
+		}
+	}
+	if h.SelGE(500)+h.SelLT(500) != 1 {
+		t.Fatal("SelGE and SelLT must complement")
+	}
+}
+
+func TestHistogramSkewBeatsUniform(t *testing.T) {
+	// 90% of values at 0..9, 10% spread to 10..9999: the uniform [min,max]
+	// interpolation wildly underestimates SelLT(10); the histogram does not.
+	rng := rand.New(rand.NewSource(5))
+	values := make([]int64, 0, 10000)
+	for i := 0; i < 9000; i++ {
+		values = append(values, int64(rng.Intn(10)))
+	}
+	for i := 0; i < 1000; i++ {
+		values = append(values, int64(10+rng.Intn(9990)))
+	}
+	h := BuildHistogram(values, 32)
+	truth := 0.9
+	histEst := h.SelLT(10)
+	uniformEst := float64(10) / float64(10000) // (v-min)/(max-min)
+	if math.Abs(histEst-truth) > 0.05 {
+		t.Fatalf("histogram estimate %v, truth %v", histEst, truth)
+	}
+	if math.Abs(uniformEst-truth) < 0.5 {
+		t.Fatalf("test premise broken: uniform estimate %v too good", uniformEst)
+	}
+}
+
+func TestHistogramDuplicateHeavyValue(t *testing.T) {
+	// One value holds half the mass; bucket boundaries must not split it.
+	values := make([]int64, 0, 2000)
+	for i := 0; i < 1000; i++ {
+		values = append(values, 42)
+	}
+	for i := 0; i < 1000; i++ {
+		values = append(values, int64(i*3))
+	}
+	h := BuildHistogram(values, 8)
+	// All duplicates of 42 are ≤ 42; SelLE(42) − SelLT(42) ≈ their mass.
+	mass := h.SelLE(42) - h.SelLT(42)
+	if mass < 0.4 {
+		t.Fatalf("heavy value mass estimated at %v, want >= 0.4", mass)
+	}
+}
+
+func TestHistogramEdgeCases(t *testing.T) {
+	if BuildHistogram(nil, 8) != nil {
+		t.Fatal("empty input should yield nil")
+	}
+	if BuildHistogram([]int64{5}, 0) != nil {
+		t.Fatal("zero buckets should yield nil")
+	}
+	h := BuildHistogram([]int64{7}, 8)
+	if h == nil || h.SelLT(7) != 0 || h.SelLT(8) != 1 {
+		t.Fatalf("single-value histogram wrong: %v", h)
+	}
+	var nilHist *Histogram
+	if nilHist.SelLT(3) != 1.0/3.0 {
+		t.Fatal("nil histogram should fall back to 1/3")
+	}
+	if nilHist.String() != "hist(none)" {
+		t.Fatal("nil String")
+	}
+	if h.String() == "" {
+		t.Fatal("String should render")
+	}
+}
+
+func TestHistogramMonotoneQuick(t *testing.T) {
+	values := make([]int64, 500)
+	rng := rand.New(rand.NewSource(9))
+	for i := range values {
+		values[i] = int64(rng.Intn(1000)) * int64(rng.Intn(7))
+	}
+	h := BuildHistogram(values, 16)
+	f := func(a, b int16) bool {
+		x, y := int64(a), int64(b)
+		if x > y {
+			x, y = y, x
+		}
+		return h.SelLT(x) <= h.SelLT(y)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramBoundsCoverage(t *testing.T) {
+	values := []int64{1, 2, 2, 3, 5, 8, 13, 21, 34, 55}
+	h := BuildHistogram(values, 4)
+	var total int64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total != int64(len(values)) {
+		t.Fatalf("bucket counts sum to %d, want %d", total, len(values))
+	}
+	if h.Bounds[0] != 1 || h.Bounds[len(h.Bounds)-1] != 55 {
+		t.Fatalf("bounds = %v", h.Bounds)
+	}
+	if len(h.Bounds) != len(h.Counts)+1 {
+		t.Fatal("bounds/counts length mismatch")
+	}
+}

@@ -1,0 +1,124 @@
+package cost
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"predplace/internal/plan"
+	"predplace/internal/query"
+)
+
+// TestFilterStatsProperties checks the filter estimator's algebra: output
+// cardinality scales linearly with selectivity, added cost is monotone in
+// input cardinality, and a zero-cost predicate adds no cost.
+func TestFilterStatsProperties(t *testing.T) {
+	cat := testCatalog(t)
+	m := NewModel(cat, false)
+	f := func(card uint16, selRaw, costRaw uint8) bool {
+		sel := float64(selRaw%100) / 100.0
+		cost := float64(costRaw % 50)
+		p := &query.Predicate{Kind: query.KindFunc, Selectivity: sel, CostPerTuple: cost,
+			Tables: []string{"r"}}
+		in := float64(card)
+		outCard, added := m.FilterStats(p, in)
+		if math.Abs(outCard-in*sel) > 1e-9 {
+			return false
+		}
+		if math.Abs(added-in*cost) > 1e-9 {
+			return false
+		}
+		// Monotone in input.
+		outCard2, added2 := m.FilterStats(p, in+100)
+		return outCard2 >= outCard && added2 >= added
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestJoinCostMonotoneInInputs verifies the linear model: join cost never
+// decreases when an input grows (fixing everything else).
+func TestJoinCostMonotoneInInputs(t *testing.T) {
+	cat := testCatalog(t)
+	m := NewModel(cat, false)
+	jp := joinPred(t, cat, "r", "a1", "s", "a1")
+	mk := func(method plan.JoinMethod, filterSel float64) float64 {
+		// A cheap filter below the outer shrinks {R}.
+		outer := plan.Node(scan(cat, t, "r"))
+		if filterSel < 1 {
+			outer = &plan.Filter{Input: outer, Pred: &query.Predicate{
+				Kind: query.KindSelCmp, Selectivity: filterSel, Tables: []string{"r"},
+			}}
+		}
+		j := &plan.Join{Method: method, Outer: outer, Inner: scan(cat, t, "s"), Primary: jp,
+			SortOuter: true, SortInner: true}
+		if method == plan.IndexNestLoop {
+			j.InnerIndexCol = "a1"
+		}
+		if err := m.Annotate(j); err != nil {
+			t.Fatal(err)
+		}
+		return j.EstCost - j.Outer.Cost() // incremental join cost
+	}
+	for _, method := range []plan.JoinMethod{plan.HashJoin, plan.MergeJoin, plan.NestLoop, plan.IndexNestLoop} {
+		full := mk(method, 1.0)
+		half := mk(method, 0.5)
+		tenth := mk(method, 0.1)
+		if !(tenth <= half+1e-9 && half <= full+1e-9) {
+			t.Errorf("%v: join cost not monotone in outer cardinality: %.2f %.2f %.2f",
+				method, tenth, half, full)
+		}
+	}
+}
+
+// TestRanksOrderIndependentOfScale checks the rank metric is invariant to
+// stream cardinality without caching (rank is a per-tuple quantity).
+func TestRanksOrderIndependentOfScale(t *testing.T) {
+	cat := testCatalog(t)
+	m := NewModel(cat, false)
+	p := funcPred(t, cat, "costly100", "s", "u20")
+	r1 := m.SelectionModule(p, 100).Rank()
+	r2 := m.SelectionModule(p, 1e6).Rank()
+	if r1 != r2 {
+		t.Fatalf("uncached rank depends on stream card: %v vs %v", r1, r2)
+	}
+}
+
+// TestGroupRankMonotoneComposition: composing a group with a filtering cheap
+// module can only lower (or keep) its rank — the property behind the pinning
+// step of migration.
+func TestGroupRankMonotoneCompositionQuick(t *testing.T) {
+	f := func(selRaw, costRaw, fselRaw uint8) bool {
+		j := Module{Sel: 0.1 + float64(selRaw%200)/100, Cost: 0.01 + float64(costRaw%100)/10}
+		filterSel := float64(fselRaw%99) / 100.0 // < 1: filtering
+		free := Module{Sel: filterSel, Cost: 0}
+		composed := Compose(j, free)
+		return composed.Rank() <= j.Rank()+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAnnotateIdempotent: re-annotating a tree yields identical estimates.
+func TestAnnotateIdempotent(t *testing.T) {
+	cat := testCatalog(t)
+	m := NewModel(cat, false)
+	jp := joinPred(t, cat, "r", "a1", "s", "a1")
+	fp := funcPred(t, cat, "costly100", "s", "u20")
+	inner := &plan.Filter{Input: scan(cat, t, "s"), Pred: fp}
+	j := &plan.Join{Method: plan.HashJoin, Outer: scan(cat, t, "r"), Inner: inner, Primary: jp}
+	j.ColRefs = plan.ConcatCols(j.Outer, j.Inner)
+	root := &plan.Filter{Input: j, Pred: fp}
+	if err := m.Annotate(root); err != nil {
+		t.Fatal(err)
+	}
+	c1, k1 := root.Cost(), root.Card()
+	if err := m.Annotate(root); err != nil {
+		t.Fatal(err)
+	}
+	if root.Cost() != c1 || root.Card() != k1 {
+		t.Fatalf("Annotate not idempotent: (%v,%v) vs (%v,%v)", c1, k1, root.Cost(), root.Card())
+	}
+}

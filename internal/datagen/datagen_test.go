@@ -1,0 +1,294 @@
+package datagen
+
+import (
+	"testing"
+
+	"predplace/internal/expr"
+)
+
+func TestBuildSmall(t *testing.T) {
+	db, err := Build(Config{Scale: 0.01, Tables: []int{1, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, err := db.Cat.Table("t1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1.Card != 100 {
+		t.Fatalf("t1 card = %d, want 100", t1.Card)
+	}
+	t3, err := db.Cat.Table("t3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t3.Card != 300 {
+		t.Fatalf("t3 card = %d, want 300", t3.Card)
+	}
+	if _, err := db.Cat.Table("t2"); err == nil {
+		t.Fatal("t2 should not exist")
+	}
+}
+
+func TestTupleWidthIs100Bytes(t *testing.T) {
+	db, err := Build(Config{Scale: 0.01, Tables: []int{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, _ := db.Cat.Table("t1")
+	if t1.TupleBytes != 100 {
+		t.Fatalf("tuple width = %d, want 100 (the paper's schema)", t1.TupleBytes)
+	}
+}
+
+func TestIndexConvention(t *testing.T) {
+	db, err := Build(Config{Scale: 0.01, Tables: []int{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, _ := db.Cat.Table("t1")
+	for _, d := range DupFactors {
+		if d.Indexed != t1.HasIndex(d.Name) {
+			t.Errorf("column %s: indexed=%v, HasIndex=%v", d.Name, d.Indexed, t1.HasIndex(d.Name))
+		}
+	}
+	// 'u'-prefixed columns unindexed, others indexed (§2).
+	for _, d := range DupFactors {
+		if (d.Name[0] == 'u') == d.Indexed {
+			t.Errorf("naming convention violated for %s", d.Name)
+		}
+	}
+}
+
+func TestDuplicationFactors(t *testing.T) {
+	db, err := Build(Config{Scale: 0.1, Tables: []int{2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, _ := db.Cat.Table("t2")
+	// card 2000: a10 must have 200 distinct values each ~10 times.
+	counts := map[int64]int{}
+	it := tab.Heap.Scan()
+	defer it.Close()
+	idx := tab.ColIndex("a10")
+	n := 0
+	for {
+		rec, _, ok, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		v, err := tab.Codec.DecodeCol(rec, idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[v.I]++
+		n++
+	}
+	if n != 2000 {
+		t.Fatalf("scanned %d tuples", n)
+	}
+	if len(counts) != 200 {
+		t.Fatalf("a10 distinct = %d, want 200", len(counts))
+	}
+	for v, c := range counts {
+		if c != 10 {
+			t.Fatalf("value %d repeated %d times, want exactly 10", v, c)
+		}
+		if v < 0 || v >= 200 {
+			t.Fatalf("value %d outside 0-based domain", v)
+		}
+	}
+}
+
+func TestDomainContainment(t *testing.T) {
+	// values(t1.ua1) ⊂ values(t3.ua1): the property driving Q1 vs Q2.
+	db, err := Build(Config{Scale: 0.05, Tables: []int{1, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := func(name string) map[int64]bool {
+		tab, _ := db.Cat.Table(name)
+		idx := tab.ColIndex("ua1")
+		out := map[int64]bool{}
+		it := tab.Heap.Scan()
+		defer it.Close()
+		for {
+			rec, _, ok, err := it.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			v, _ := tab.Codec.DecodeCol(rec, idx)
+			out[v.I] = true
+		}
+		return out
+	}
+	v1, v3 := vals("t1"), vals("t3")
+	for v := range v1 {
+		if !v3[v] {
+			t.Fatalf("t1.ua1 value %d missing from t3.ua1: domains must nest", v)
+		}
+	}
+	if len(v1) != 500 || len(v3) != 1500 {
+		t.Fatalf("distinct counts: t1=%d t3=%d", len(v1), len(v3))
+	}
+}
+
+func TestIndexesConsistentWithHeap(t *testing.T) {
+	db, err := Build(Config{Scale: 0.02, Tables: []int{2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, _ := db.Cat.Table("t2")
+	idxCol := "a10"
+	tree := tab.Indexes[idxCol]
+	if tree == nil {
+		t.Fatal("a10 index missing")
+	}
+	if tree.Len() != int(tab.Card) {
+		t.Fatalf("index has %d entries, table has %d tuples", tree.Len(), tab.Card)
+	}
+	ci := tab.ColIndex(idxCol)
+	// Every probe result must point at tuples with the probed value.
+	for key := int64(0); key < 5; key++ {
+		tids := tree.Probe(key)
+		if len(tids) == 0 {
+			t.Fatalf("no matches for key %d", key)
+		}
+		for _, tid := range tids {
+			rec, err := tab.Heap.Get(tid)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v, _ := tab.Codec.DecodeCol(rec, ci)
+			if v.I != key {
+				t.Fatalf("index points at tuple with %s=%d, probed %d", idxCol, v.I, key)
+			}
+		}
+	}
+}
+
+func TestStatsMatchData(t *testing.T) {
+	db, err := Build(Config{Scale: 0.02, Tables: []int{4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, _ := db.Cat.Table("t4")
+	for _, d := range DupFactors {
+		col, _ := tab.Column(d.Name)
+		want := tab.Card / d.Dup
+		if col.Distinct != want {
+			t.Errorf("%s distinct stat = %d, want %d", d.Name, col.Distinct, want)
+		}
+		if col.Min != 0 || col.Max != want-1 {
+			t.Errorf("%s bounds = [%d,%d], want [0,%d]", d.Name, col.Min, col.Max, want-1)
+		}
+	}
+}
+
+func TestStandardFuncsRegistered(t *testing.T) {
+	db, err := Build(Config{Scale: 0.01, Tables: []int{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"costly1", "costly10", "costly100", "costly1000", "costly10join", "costly100join"} {
+		f, err := db.Cat.Func(name)
+		if err != nil {
+			t.Fatalf("%s not registered: %v", name, err)
+		}
+		if f.Cost <= 0 {
+			t.Fatalf("%s has no cost", name)
+		}
+	}
+	f, _ := db.Cat.Func("costly100")
+	if f.Cost != 100 || f.Arity != 1 {
+		t.Fatalf("costly100 metadata wrong: %+v", f)
+	}
+	j, _ := db.Cat.Func("costly100join")
+	if j.Arity != 2 {
+		t.Fatal("join variant must be binary")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	sum := func() int64 {
+		db, err := Build(Config{Scale: 0.02, Tables: []int{3}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tab, _ := db.Cat.Table("t3")
+		var s int64
+		it := tab.Heap.Scan()
+		defer it.Close()
+		for {
+			rec, _, ok, err := it.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			row, _ := tab.Codec.Decode(rec)
+			for _, v := range row {
+				if v.Kind == expr.TInt {
+					s = s*31 + v.I
+				}
+			}
+		}
+		return s
+	}
+	if sum() != sum() {
+		t.Fatal("generation is not deterministic")
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	db, err := Build(Config{Scale: 0.02, Tables: []int{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, _ := db.Cat.Table("t1")
+	// Wreck the stats, then recompute from data.
+	for i := range tab.Columns {
+		tab.Columns[i].Distinct = -1
+	}
+	if err := ComputeStats(db, "t1"); err != nil {
+		t.Fatal(err)
+	}
+	col, _ := tab.Column("u10")
+	if col.Distinct != tab.Card/10 {
+		t.Fatalf("recomputed distinct = %d, want %d", col.Distinct, tab.Card/10)
+	}
+	if err := ComputeStats(db, "missing"); err == nil {
+		t.Fatal("missing table should error")
+	}
+}
+
+func TestLoadIONotCharged(t *testing.T) {
+	db, err := Build(Config{Scale: 0.02, Tables: []int{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Disk.Accountant().Stats().Total(); got != 0 {
+		t.Fatalf("load I/O leaked into accountant: %d", got)
+	}
+}
+
+func TestPermutationBijective(t *testing.T) {
+	for _, n := range []int64{1, 2, 10, 97, 1000} {
+		p := newPermutation(n, 42)
+		seen := make(map[int64]bool, n)
+		for i := int64(0); i < n; i++ {
+			v := p.apply(i)
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("n=%d: permutation not bijective at %d (v=%d)", n, i, v)
+			}
+			seen[v] = true
+		}
+	}
+}

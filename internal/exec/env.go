@@ -1,0 +1,126 @@
+// Package exec is the Volcano-style execution engine: it interprets physical
+// plan trees over the paged storage substrate, evaluates predicates with
+// optional predicate caching, counts user-defined function invocations, and
+// reports the paper's measurement: charged cost = physical page I/Os +
+// synthetic spill I/Os + Σ (invocations × per-call cost).
+package exec
+
+import (
+	"errors"
+	"fmt"
+
+	"predplace/internal/catalog"
+	"predplace/internal/pcache"
+	"predplace/internal/plan"
+	"predplace/internal/storage"
+)
+
+// ErrBudgetExceeded aborts a query whose charged cost passed the budget —
+// how the harness reproduces the paper's "PullUp used up all available swap
+// space and never completed" for Query 5.
+var ErrBudgetExceeded = errors.New("exec: charged-cost budget exceeded")
+
+// Env is the execution context of one query. An Env is not safe for
+// concurrent use; run one query at a time per Env.
+type Env struct {
+	// Cat resolves tables and functions.
+	Cat *catalog.Catalog
+	// Pool is the buffer pool all page access goes through.
+	Pool *storage.BufferPool
+	// Acct is the physical I/O accountant.
+	Acct *storage.Accountant
+	// Cache is the predicate cache (may be nil or disabled).
+	Cache *pcache.Manager
+	// Budget aborts execution when the charged cost exceeds it (0 = none).
+	Budget float64
+	// CountOnly discards result rows, keeping only the count.
+	CountOnly bool
+
+	baseIO      storage.IOStats
+	syntheticIO float64
+	trace       map[plan.Node]*int64
+}
+
+// begin snapshots counters at query start. The buffer pool is flushed so
+// every query is measured cold, the way the paper's I/O-dominated runs were.
+func (e *Env) begin() {
+	e.Cat.ResetFuncCounters()
+	if e.Cache != nil {
+		e.Cache.Reset()
+	}
+	_ = e.Pool.FlushAll()
+	e.baseIO = e.Acct.Stats()
+	e.syntheticIO = 0
+	e.trace = map[plan.Node]*int64{}
+}
+
+// ChargeSynthetic adds simulated spill I/O (external sort runs, hash
+// partitions) in random-I/O units.
+func (e *Env) ChargeSynthetic(units float64) { e.syntheticIO += units }
+
+// Charged returns the charged cost so far: page I/Os since begin plus
+// synthetic I/O plus function-invocation charges.
+func (e *Env) Charged() float64 {
+	io := e.Acct.Stats().Sub(e.baseIO)
+	return float64(io.Total()) + e.syntheticIO + e.Cat.ChargedFuncCost()
+}
+
+// checkBudget returns ErrBudgetExceeded when past the budget.
+func (e *Env) checkBudget() error {
+	if e.Budget > 0 && e.Charged() > e.Budget {
+		return ErrBudgetExceeded
+	}
+	return nil
+}
+
+// Stats reports the resources consumed by one executed query.
+type Stats struct {
+	// IO is the physical page traffic.
+	IO storage.IOStats
+	// SyntheticIO is simulated spill traffic in I/O units.
+	SyntheticIO float64
+	// FuncCharge is Σ invocations × per-call cost.
+	FuncCharge float64
+	// Invocations maps function name → call count.
+	Invocations map[string]int64
+	// CacheHits and CacheMisses report predicate-cache traffic.
+	CacheHits, CacheMisses int64
+	// Rows is the number of result rows.
+	Rows int
+}
+
+// Charged is the paper's single-number measurement in random-I/O units.
+func (s Stats) Charged() float64 {
+	return float64(s.IO.Total()) + s.SyntheticIO + s.FuncCharge
+}
+
+// String renders the stats compactly.
+func (s Stats) String() string {
+	return fmt.Sprintf("charged=%.0f (io=%d synth=%.0f func=%.0f) rows=%d",
+		s.Charged(), s.IO.Total(), s.SyntheticIO, s.FuncCharge, s.Rows)
+}
+
+// finish assembles the stats at query end.
+func (e *Env) finish(rows int) Stats {
+	inv := map[string]int64{}
+	var charge float64
+	for _, f := range e.Cat.Funcs() {
+		if n := f.Calls(); n > 0 {
+			inv[f.Name] = n
+		}
+		charge += f.ChargedCost()
+	}
+	var hits, misses int64
+	if e.Cache != nil {
+		hits, misses, _ = e.Cache.Stats()
+	}
+	return Stats{
+		IO:          e.Acct.Stats().Sub(e.baseIO),
+		SyntheticIO: e.syntheticIO,
+		FuncCharge:  charge,
+		Invocations: inv,
+		CacheHits:   hits,
+		CacheMisses: misses,
+		Rows:        rows,
+	}
+}

@@ -1,0 +1,244 @@
+package exec
+
+import (
+	"fmt"
+
+	"predplace/internal/catalog"
+	"predplace/internal/expr"
+	"predplace/internal/plan"
+	"predplace/internal/storage"
+)
+
+// Iterator is the Volcano operator interface.
+type Iterator interface {
+	// Open prepares the iterator for Next calls.
+	Open() error
+	// Next produces the next row; ok=false signals exhaustion.
+	Next() (row expr.Row, ok bool, err error)
+	// Close releases resources. Safe to call more than once.
+	Close() error
+}
+
+// Build compiles a physical plan into an iterator tree. When the Env is
+// tracing (Run always traces), every operator is wrapped with a per-node
+// row counter so EXPLAIN ANALYZE can print actual cardinalities next to the
+// optimizer's estimates.
+func Build(e *Env, n plan.Node) (Iterator, error) {
+	it, err := build(e, n)
+	if err != nil {
+		return nil, err
+	}
+	if e.trace != nil {
+		counter, ok := e.trace[n]
+		if !ok {
+			counter = new(int64)
+			e.trace[n] = counter
+		}
+		return &countIter{in: it, rows: counter}, nil
+	}
+	return it, nil
+}
+
+func build(e *Env, n plan.Node) (Iterator, error) {
+	switch t := n.(type) {
+	case *plan.SeqScan:
+		return newSeqScan(e, t)
+	case *plan.IndexScan:
+		return newIndexScan(e, t)
+	case *plan.Filter:
+		in, err := Build(e, t.Input)
+		if err != nil {
+			return nil, err
+		}
+		cp, err := compilePred(t.Pred, t.Input.Cols())
+		if err != nil {
+			return nil, err
+		}
+		return &filterIter{e: e, in: in, pred: cp}, nil
+	case *plan.Join:
+		return buildJoin(e, t)
+	}
+	return nil, fmt.Errorf("exec: unknown plan node %T", n)
+}
+
+// seqScanIter reads a heap file front to back.
+type seqScanIter struct {
+	e     *Env
+	tab   *catalog.Table
+	it    *storage.HeapIter
+	count int
+}
+
+func newSeqScan(e *Env, s *plan.SeqScan) (Iterator, error) {
+	tab, err := e.Cat.Table(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	if tab.Heap == nil || tab.Codec == nil {
+		return nil, fmt.Errorf("exec: table %s has no storage", s.Table)
+	}
+	return &seqScanIter{e: e, tab: tab}, nil
+}
+
+func (s *seqScanIter) Open() error {
+	s.it = s.tab.Heap.Scan()
+	return nil
+}
+
+func (s *seqScanIter) Next() (expr.Row, bool, error) {
+	if s.it == nil {
+		return nil, false, fmt.Errorf("exec: Next before Open on SeqScan(%s)", s.tab.Name)
+	}
+	rec, _, ok, err := s.it.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	s.count++
+	if s.count%1024 == 0 {
+		if err := s.e.checkBudget(); err != nil {
+			return nil, false, err
+		}
+	}
+	row, err := s.tab.Codec.Decode(rec)
+	if err != nil {
+		return nil, false, err
+	}
+	return row, true, nil
+}
+
+func (s *seqScanIter) Close() error {
+	if s.it != nil {
+		s.it.Close()
+		s.it = nil
+	}
+	return nil
+}
+
+// indexScanIter drives a B-tree equality or range scan, fetching matching
+// heap tuples (random I/O per fetch).
+type indexScanIter struct {
+	e    *Env
+	node *plan.IndexScan
+	tab  *catalog.Table
+	tids []storage.TID
+	pos  int
+}
+
+func newIndexScan(e *Env, s *plan.IndexScan) (Iterator, error) {
+	tab, err := e.Cat.Table(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	if !tab.HasIndex(s.Col) {
+		return nil, fmt.Errorf("exec: no index on %s.%s", s.Table, s.Col)
+	}
+	return &indexScanIter{e: e, node: s, tab: tab}, nil
+}
+
+func (s *indexScanIter) Open() error {
+	tree := s.tab.Indexes[s.node.Col]
+	s.tids = s.tids[:0]
+	s.pos = 0
+	switch {
+	case s.node.Eq != nil:
+		if s.node.Eq.Kind != expr.TInt {
+			return fmt.Errorf("exec: index scan requires int key")
+		}
+		s.tids = tree.Probe(s.node.Eq.I)
+	default:
+		lo := int64(-1) << 62
+		hi := int64(1)<<62 - 1
+		if s.node.Lo != nil {
+			lo = s.node.Lo.I
+		}
+		if s.node.Hi != nil {
+			hi = s.node.Hi.I
+		}
+		it := tree.Range(lo, hi)
+		for {
+			ent, ok := it.Next()
+			if !ok {
+				break
+			}
+			s.tids = append(s.tids, ent.TID)
+		}
+	}
+	return nil
+}
+
+func (s *indexScanIter) Next() (expr.Row, bool, error) {
+	if s.pos >= len(s.tids) {
+		return nil, false, nil
+	}
+	tid := s.tids[s.pos]
+	s.pos++
+	if s.pos%1024 == 0 {
+		if err := s.e.checkBudget(); err != nil {
+			return nil, false, err
+		}
+	}
+	rec, err := s.tab.Heap.Get(tid)
+	if err != nil {
+		return nil, false, err
+	}
+	row, err := s.tab.Codec.Decode(rec)
+	if err != nil {
+		return nil, false, err
+	}
+	return row, true, nil
+}
+
+func (s *indexScanIter) Close() error { return nil }
+
+// filterIter applies one predicate, dropping rows that fail it.
+type filterIter struct {
+	e     *Env
+	in    Iterator
+	pred  *compiledPred
+	count int
+}
+
+func (f *filterIter) Open() error { return f.in.Open() }
+
+func (f *filterIter) Next() (expr.Row, bool, error) {
+	for {
+		row, ok, err := f.in.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		f.count++
+		if f.count%32 == 0 {
+			if err := f.e.checkBudget(); err != nil {
+				return nil, false, err
+			}
+		}
+		pass, err := f.pred.holds(f.e, row)
+		if err != nil {
+			return nil, false, err
+		}
+		if pass {
+			return row, true, nil
+		}
+	}
+}
+
+func (f *filterIter) Close() error { return f.in.Close() }
+
+// countIter counts the rows an operator produces (accumulating across
+// nested-loop rescans) for EXPLAIN ANALYZE.
+type countIter struct {
+	in   Iterator
+	rows *int64
+}
+
+func (c *countIter) Open() error { return c.in.Open() }
+
+func (c *countIter) Next() (expr.Row, bool, error) {
+	row, ok, err := c.in.Next()
+	if ok {
+		*c.rows++
+	}
+	return row, ok, err
+}
+
+func (c *countIter) Close() error { return c.in.Close() }

@@ -1,0 +1,138 @@
+package exec
+
+import (
+	"fmt"
+
+	"predplace/internal/expr"
+	"predplace/internal/pcache"
+	"predplace/internal/plan"
+	"predplace/internal/query"
+)
+
+// compiledPred is a predicate with its column references resolved to row
+// positions for a specific operator's output schema.
+type compiledPred struct {
+	pred *query.Predicate
+	// comparison predicates
+	op       expr.CmpOp
+	leftIdx  int
+	rightIdx int        // -1 for col-vs-const
+	constVal expr.Value // col-vs-const
+	// function predicates
+	argIdx []int
+}
+
+// compilePred resolves p's column references against cols.
+func compilePred(p *query.Predicate, cols []query.ColRef) (*compiledPred, error) {
+	find := func(ref query.ColRef) (int, error) {
+		for i, c := range cols {
+			if c == ref {
+				return i, nil
+			}
+		}
+		return -1, fmt.Errorf("exec: column %s not in operator schema %v", ref, cols)
+	}
+	cp := &compiledPred{pred: p, op: p.Op, rightIdx: -1}
+	switch p.Kind {
+	case query.KindSelCmp:
+		i, err := find(p.Left)
+		if err != nil {
+			return nil, err
+		}
+		cp.leftIdx, cp.constVal = i, p.Value
+	case query.KindJoinCmp:
+		l, err := find(p.Left)
+		if err != nil {
+			return nil, err
+		}
+		r, err := find(p.Right)
+		if err != nil {
+			return nil, err
+		}
+		cp.leftIdx, cp.rightIdx = l, r
+	case query.KindFunc:
+		for _, a := range p.Args {
+			i, err := find(a)
+			if err != nil {
+				return nil, err
+			}
+			cp.argIdx = append(cp.argIdx, i)
+		}
+	default:
+		return nil, fmt.Errorf("exec: unknown predicate kind %d", p.Kind)
+	}
+	return cp, nil
+}
+
+// eval computes the predicate's tri-state result on a row, consulting the
+// predicate cache for cacheable function predicates (the cache stores the
+// result of the whole predicate keyed on the argument binding, §5.1).
+func (cp *compiledPred) eval(e *Env, row expr.Row) (expr.Value, error) {
+	p := cp.pred
+	switch p.Kind {
+	case query.KindSelCmp:
+		return cp.op.Apply(row[cp.leftIdx], cp.constVal), nil
+	case query.KindJoinCmp:
+		return cp.op.Apply(row[cp.leftIdx], row[cp.rightIdx]), nil
+	case query.KindFunc:
+		args := make([]expr.Value, len(cp.argIdx))
+		for i, idx := range cp.argIdx {
+			args[i] = row[idx]
+		}
+		if e.Cache.Enabled() && p.Func.Cacheable {
+			owner := e.Cache.Owner(p.ID, p.Func.Name)
+			key := pcache.Key(args)
+			if v, ok := e.Cache.Lookup(owner, key); ok {
+				return v, nil
+			}
+			v := p.Func.Invoke(args)
+			e.Cache.Store(owner, key, v)
+			return v, nil
+		}
+		return p.Func.Invoke(args), nil
+	}
+	return expr.Null, fmt.Errorf("exec: unknown predicate kind %d", p.Kind)
+}
+
+// holds reports whether the predicate is satisfied (NULL and false both
+// reject the row, per SQL WHERE semantics).
+func (cp *compiledPred) holds(e *Env, row expr.Row) (bool, error) {
+	v, err := cp.eval(e, row)
+	if err != nil {
+		return false, err
+	}
+	b, known := v.Bool()
+	return known && b, nil
+}
+
+// compilePreds compiles a slice of predicates against one schema.
+func compilePreds(ps []*query.Predicate, cols []query.ColRef) ([]*compiledPred, error) {
+	out := make([]*compiledPred, 0, len(ps))
+	for _, p := range ps {
+		cp, err := compilePred(p, cols)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, cp)
+	}
+	return out, nil
+}
+
+// joinKeyIdx resolves which side of an equality join predicate lives in
+// which child, returning the outer and inner column positions.
+func joinKeyIdx(p *query.Predicate, outer, inner plan.Node) (outIdx, inIdx int, err error) {
+	if p == nil || p.Kind != query.KindJoinCmp || p.Op != expr.OpEQ {
+		return 0, 0, fmt.Errorf("exec: join method requires an equality join predicate, got %v", p)
+	}
+	lo := plan.ColIndex(outer, p.Left)
+	ri := plan.ColIndex(inner, p.Right)
+	if lo >= 0 && ri >= 0 {
+		return lo, ri, nil
+	}
+	lo2 := plan.ColIndex(outer, p.Right)
+	ri2 := plan.ColIndex(inner, p.Left)
+	if lo2 >= 0 && ri2 >= 0 {
+		return lo2, ri2, nil
+	}
+	return 0, 0, fmt.Errorf("exec: join predicate %v does not span the two inputs", p)
+}

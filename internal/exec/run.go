@@ -1,0 +1,132 @@
+package exec
+
+import (
+	"predplace/internal/expr"
+	"predplace/internal/plan"
+	"predplace/internal/query"
+	"predplace/internal/storage"
+)
+
+// Result is an executed query's output.
+type Result struct {
+	// Cols names the output columns.
+	Cols []string
+	// Rows holds the result rows (nil when Env.CountOnly).
+	Rows []expr.Row
+	// Stats reports resource consumption.
+	Stats Stats
+	// DNF is set when the charged-cost budget aborted the query; Stats then
+	// reflects consumption up to the abort.
+	DNF bool
+	// NodeRows maps plan nodes to the number of rows they actually produced
+	// (accumulated across nested-loop rescans) — EXPLAIN ANALYZE's data.
+	NodeRows map[plan.Node]int64
+}
+
+// collectTrace snapshots the per-node row counters.
+func collectTrace(e *Env) map[plan.Node]int64 {
+	out := make(map[plan.Node]int64, len(e.trace))
+	for n, c := range e.trace {
+		out[n] = *c
+	}
+	return out
+}
+
+// Run executes a plan tree to completion, resetting function counters and
+// the predicate cache first (each query is measured in isolation).
+func Run(e *Env, root plan.Node) (*Result, error) {
+	e.begin()
+	it, err := Build(e, root)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	for _, c := range root.Cols() {
+		res.Cols = append(res.Cols, c.String())
+	}
+	if err := it.Open(); err != nil {
+		it.Close()
+		if err == ErrBudgetExceeded {
+			res.DNF = true
+			res.Stats = e.finish(0)
+			res.NodeRows = collectTrace(e)
+			return res, nil
+		}
+		return nil, err
+	}
+	rows := 0
+	for {
+		row, ok, err := it.Next()
+		if err != nil {
+			it.Close()
+			if err == ErrBudgetExceeded {
+				res.DNF = true
+				res.Stats = e.finish(rows)
+				res.NodeRows = collectTrace(e)
+				return res, nil
+			}
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		rows++
+		if !e.CountOnly {
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	if err := it.Close(); err != nil {
+		return nil, err
+	}
+	res.Stats = e.finish(rows)
+	res.NodeRows = collectTrace(e)
+	return res, nil
+}
+
+// MatchingTIDs scans a base table and returns the tuple ids of rows
+// satisfying every predicate — the lookup side of DML (DELETE). Predicates
+// are evaluated in the given order with the usual caching behaviour.
+func MatchingTIDs(e *Env, tableName string, preds []*query.Predicate) ([]storage.TID, error) {
+	tab, err := e.Cat.Table(tableName)
+	if err != nil {
+		return nil, err
+	}
+	cols := make([]query.ColRef, len(tab.Columns))
+	for i, c := range tab.Columns {
+		cols[i] = query.ColRef{Table: tableName, Col: c.Name}
+	}
+	compiled, err := compilePreds(preds, cols)
+	if err != nil {
+		return nil, err
+	}
+	var out []storage.TID
+	it := tab.Heap.Scan()
+	defer it.Close()
+	for {
+		rec, tid, ok, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		row, err := tab.Codec.Decode(rec)
+		if err != nil {
+			return nil, err
+		}
+		keep := true
+		for _, cp := range compiled {
+			pass, err := cp.holds(e, row)
+			if err != nil {
+				return nil, err
+			}
+			if !pass {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out = append(out, tid)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package expr
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// FuncDef describes a user-defined function usable in predicates. The paper's
+// methodology (§2) benchmarks expensive functions without executing real
+// work: each function carries a declared per-call cost in units of random
+// database I/Os, the executor counts invocations, and the harness charges
+// invocations × cost on top of measured page I/Os.
+type FuncDef struct {
+	// Name is the function's identifier as written in queries (e.g. "costly100").
+	Name string
+	// Arity is the number of arguments the function accepts.
+	Arity int
+	// Cost is the per-invocation cost in random-I/O units, stored in system
+	// metadata exactly as Montage stored per-predicate cost.
+	Cost float64
+	// Selectivity is the expected fraction of input tuples for which a
+	// boolean function returns true; ignored for non-predicate functions.
+	Selectivity float64
+	// Cacheable marks functions whose results may be memoized by the
+	// predicate cache (deterministic functions of their arguments).
+	Cacheable bool
+	// RealWork marks functions whose evaluation performs real, separately
+	// charged work (e.g. subquery predicates that read pages through the
+	// buffer pool). Cost then serves only the optimizer's estimates and is
+	// excluded from the charged-cost measurement to avoid double counting.
+	RealWork bool
+	// Eval computes the function. It must be deterministic when Cacheable.
+	Eval func(args []Value) Value
+
+	calls atomic.Int64
+}
+
+// Invoke evaluates the function on args, counting the invocation.
+func (f *FuncDef) Invoke(args []Value) Value {
+	f.calls.Add(1)
+	return f.Eval(args)
+}
+
+// Calls returns the number of invocations since the last ResetCalls.
+func (f *FuncDef) Calls() int64 { return f.calls.Load() }
+
+// ResetCalls zeroes the invocation counter (done by the harness per query).
+func (f *FuncDef) ResetCalls() { f.calls.Store(0) }
+
+// ChargedCost returns Calls() × Cost — the I/O-unit charge attributed to this
+// function since the last reset. RealWork functions charge zero here because
+// their work is metered directly.
+func (f *FuncDef) ChargedCost() float64 {
+	if f.RealWork {
+		return 0
+	}
+	return float64(f.calls.Load()) * f.Cost
+}
+
+// String renders the function signature for EXPLAIN output.
+func (f *FuncDef) String() string {
+	return fmt.Sprintf("%s/%d cost=%.1f sel=%.3f", f.Name, f.Arity, f.Cost, f.Selectivity)
+}
+
+// hash64 mixes a 64-bit value (splitmix64 finalizer); used to derive
+// deterministic pseudo-random booleans for stub predicate functions.
+func hash64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// BoolStub builds the Eval body of a deterministic boolean stub predicate
+// with the given selectivity: it returns true for approximately
+// selectivity×100% of distinct argument bindings, NULL never, and performs no
+// real work (per the paper, the cost is charged by invocation count, not by
+// actually burning I/O).
+func BoolStub(selectivity float64, seed uint64) func(args []Value) Value {
+	threshold := uint64(selectivity * float64(^uint64(0)>>1) * 2)
+	return func(args []Value) Value {
+		h := seed
+		for _, a := range args {
+			if a.IsNull() {
+				return Null
+			}
+			h = hash64(h ^ a.Hash())
+		}
+		return B(hash64(h) < threshold)
+	}
+}
+
+// NewCostly returns the benchmark function costlyN used throughout the
+// paper's example queries: per-call cost of `cost` random I/Os and the given
+// selectivity, deterministic in its arguments.
+func NewCostly(name string, arity int, cost, selectivity float64, seed uint64) *FuncDef {
+	return &FuncDef{
+		Name:        name,
+		Arity:       arity,
+		Cost:        cost,
+		Selectivity: selectivity,
+		Cacheable:   true,
+		Eval:        BoolStub(selectivity, seed),
+	}
+}

@@ -1,0 +1,87 @@
+package expr
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFuncInvokeCounts(t *testing.T) {
+	f := NewCostly("costly10", 1, 10, 0.5, 1)
+	if f.Calls() != 0 {
+		t.Fatal("fresh function should have zero calls")
+	}
+	for i := 0; i < 7; i++ {
+		f.Invoke([]Value{I(int64(i))})
+	}
+	if f.Calls() != 7 {
+		t.Fatalf("Calls = %d, want 7", f.Calls())
+	}
+	if got := f.ChargedCost(); got != 70 {
+		t.Fatalf("ChargedCost = %v, want 70", got)
+	}
+	f.ResetCalls()
+	if f.Calls() != 0 {
+		t.Fatal("ResetCalls failed")
+	}
+}
+
+func TestBoolStubDeterministic(t *testing.T) {
+	f := BoolStub(0.5, 99)
+	for i := int64(0); i < 100; i++ {
+		a := f([]Value{I(i)})
+		b := f([]Value{I(i)})
+		if !a.Equal(b) {
+			t.Fatalf("stub not deterministic at %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestBoolStubNullPropagation(t *testing.T) {
+	f := BoolStub(0.5, 1)
+	if !f([]Value{Null}).IsNull() {
+		t.Fatal("NULL argument should yield NULL")
+	}
+	if !f([]Value{I(1), Null}).IsNull() {
+		t.Fatal("any NULL argument should yield NULL")
+	}
+}
+
+func TestBoolStubSelectivity(t *testing.T) {
+	for _, sel := range []float64{0.1, 0.3, 0.5, 0.9} {
+		f := BoolStub(sel, 7)
+		n, hits := 20000, 0
+		for i := 0; i < n; i++ {
+			if b, ok := f([]Value{I(int64(i))}).Bool(); ok && b {
+				hits++
+			}
+		}
+		got := float64(hits) / float64(n)
+		if math.Abs(got-sel) > 0.02 {
+			t.Errorf("selectivity %v: observed %v", sel, got)
+		}
+	}
+}
+
+func TestBoolStubSeedsDiffer(t *testing.T) {
+	f1 := BoolStub(0.5, 1)
+	f2 := BoolStub(0.5, 2)
+	same := 0
+	for i := int64(0); i < 1000; i++ {
+		if f1([]Value{I(i)}).Equal(f2([]Value{I(i)})) {
+			same++
+		}
+	}
+	if same > 700 || same < 300 {
+		t.Fatalf("seeds should decorrelate stubs; %d/1000 agreed", same)
+	}
+}
+
+func TestNewCostlyMetadata(t *testing.T) {
+	f := NewCostly("costly100", 2, 100, 0.25, 3)
+	if f.Name != "costly100" || f.Arity != 2 || f.Cost != 100 || f.Selectivity != 0.25 || !f.Cacheable {
+		t.Fatalf("metadata wrong: %+v", f)
+	}
+	if f.String() == "" {
+		t.Fatal("String should render")
+	}
+}

@@ -1,0 +1,83 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"predplace"
+)
+
+// goldenPlans pins the exact plans the optimizer chooses for the benchmark
+// queries at scale 0.02 — a regression net over join-order, method, and
+// placement decisions (the enumerators break equal-cost ties
+// deterministically, so these are stable).
+var goldenPlans = []struct {
+	name string
+	sql  string
+	algo predplace.Algorithm
+	plan string
+}{
+	{"Query1/PushDown", Query1, predplace.PushDown,
+		`HashJoin on t3.ua1 = t9.ua1  (card=300 cost=180071)
+  Filter* costly100(t9.u20) (cost=100.0 sel=0.500)  (card=900 cost=180024)
+    SeqScan t9  (card=1800 cost=24)
+  SeqScan t3  (card=600 cost=8)
+`},
+	{"Query1/Migration", Query1, predplace.Migration,
+		`Filter* costly100(t9.u20) (cost=100.0 sel=0.500)  (card=300 cost=60094)
+  HashJoin on t3.ua1 = t9.ua1  (card=600 cost=94)
+    SeqScan t9  (card=1800 cost=24)
+    SeqScan t3  (card=600 cost=8)
+`},
+	{"Query2/Migration", Query2, predplace.Migration,
+		`HashJoin on t10.ua1 = t9.ua1  (card=900 cost=180125)
+  Filter* costly100(t9.u20) (cost=100.0 sel=0.500)  (card=900 cost=180024)
+    SeqScan t9  (card=1800 cost=24)
+  SeqScan t10  (card=2000 cost=26)
+`},
+	{"Query3/Migration", Query3, predplace.Migration,
+		`HashJoin on t3.a10 = t10.a10  (card=3000 cost=60094)
+  SeqScan t10  (card=2000 cost=26)
+  Filter* costly100(t3.ua1) (cost=100.0 sel=0.500)  (card=300 cost=60008)
+    SeqScan t3  (card=600 cost=8)
+`},
+	{"Query4/Migration", Query4, predplace.Migration,
+		`Filter* costly100(t3.u20) (cost=100.0 sel=0.500)  (card=30 cost=6110)
+  MergeJoin on t3.ua1 = t10.ua1  (card=60 cost=110)
+    MergeJoin on t10.ua1 = t1.ua1  (card=200 cost=86)
+      SeqScan t10  (card=2000 cost=26)
+      SeqScan t1  (card=200 cost=3)
+    SeqScan t3  (card=600 cost=8)
+`},
+}
+
+func TestGoldenPlans(t *testing.T) {
+	h := getHarness(t) // scale 0.02
+	for _, g := range goldenPlans {
+		got, err := h.DB.Explain(g.sql, g.algo)
+		if err != nil {
+			t.Fatalf("%s: %v", g.name, err)
+		}
+		if got != g.plan {
+			t.Errorf("%s plan changed:\n--- got ---\n%s--- want ---\n%s", g.name, got, g.plan)
+		}
+	}
+}
+
+func TestGoldenPlansDeterministic(t *testing.T) {
+	// Planning the same query repeatedly must yield byte-identical plans
+	// (equal-cost ties are broken deterministically).
+	h := getHarness(t)
+	for trial := 0; trial < 5; trial++ {
+		got, err := h.DB.Explain(Query1, predplace.Migration)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(got, "Filter* costly100") {
+			t.Fatalf("unexpected plan:\n%s", got)
+		}
+		if got != goldenPlans[1].plan {
+			t.Fatalf("plan flapped on trial %d:\n%s", trial, got)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// sharedHarness is built once; experiments are read-only over the database.
+var sharedHarness *Harness
+
+func getHarness(t *testing.T) *Harness {
+	t.Helper()
+	if sharedHarness == nil {
+		h, err := New(0.02)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sharedHarness = h
+	}
+	return sharedHarness
+}
+
+func runAndCheck(t *testing.T, run func() (*Report, error)) *Report {
+	t.Helper()
+	rep, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Passed() {
+		t.Fatalf("shape checks failed:\n%s", rep)
+	}
+	if rep.Text == "" || rep.ID == "" || rep.Title == "" {
+		t.Fatal("incomplete report")
+	}
+	return rep
+}
+
+func TestTable1(t *testing.T) {
+	rep := runAndCheck(t, getHarness(t).Table1)
+	for _, name := range []string{"PushDown+", "PullUp", "PullRank", "Predicate Migration", "LDL", "Exhaustive"} {
+		if !strings.Contains(rep.Text, name) {
+			t.Fatalf("Table 1 missing %s:\n%s", name, rep.Text)
+		}
+	}
+}
+
+func TestTable2(t *testing.T) {
+	rep := runAndCheck(t, getHarness(t).Table2)
+	for n := 1; n <= 10; n++ {
+		if rep.Metrics["tuples_t"+string(rune('0'+n%10))] < 0 {
+			t.Fatal("missing table metric")
+		}
+	}
+	if !strings.Contains(rep.Text, "t10") {
+		t.Fatalf("Table 2 missing t10:\n%s", rep.Text)
+	}
+}
+
+func TestFig1(t *testing.T)  { runAndCheck(t, getHarness(t).Fig1PlanTrees) }
+func TestFig3(t *testing.T)  { runAndCheck(t, getHarness(t).Fig3Query1) }
+func TestFig4(t *testing.T)  { runAndCheck(t, getHarness(t).Fig4Query2) }
+func TestFig5(t *testing.T)  { runAndCheck(t, getHarness(t).Fig5Query3) }
+func TestFig6(t *testing.T)  { runAndCheck(t, getHarness(t).Fig6PlanTrees) }
+func TestFig8(t *testing.T)  { runAndCheck(t, getHarness(t).Fig8Query4) }
+func TestFig9(t *testing.T)  { runAndCheck(t, getHarness(t).Fig9Query5) }
+func TestFig10(t *testing.T) { runAndCheck(t, getHarness(t).Fig10Spectrum) }
+
+func TestPlanTime(t *testing.T) { runAndCheck(t, getHarness(t).PlanTime5Way) }
+func TestCaching(t *testing.T)  { runAndCheck(t, getHarness(t).CachingAblation) }
+
+func TestExperimentIndexComplete(t *testing.T) {
+	h := getHarness(t)
+	exps := h.Experiments()
+	for _, id := range []string{"table1", "table2", "fig1", "fig3", "fig4", "fig5", "fig6", "fig8", "fig9", "fig10", "plantime", "caching"} {
+		if exps[id] == nil {
+			t.Fatalf("experiment %s missing", id)
+		}
+	}
+}
+
+func TestReportString(t *testing.T) {
+	rep := &Report{ID: "x", Title: "T", Text: "body\n",
+		Shape: []ShapeCheck{{Claim: "c", Pass: true}, {Claim: "d", Pass: false, Detail: "why"}}}
+	s := rep.String()
+	for _, want := range []string{"== x: T ==", "[PASS] c", "[FAIL] d (why)"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("missing %q in:\n%s", want, s)
+		}
+	}
+	if rep.Passed() {
+		t.Fatal("Passed should be false")
+	}
+}
+
+func TestAblations(t *testing.T) { runAndCheck(t, getHarness(t).Ablations) }
+
+func TestScaleStability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds three databases")
+	}
+	runAndCheck(t, getHarness(t).ScaleStability)
+}
+
+func TestComplexSuite(t *testing.T) { runAndCheck(t, getHarness(t).ComplexSuite) }

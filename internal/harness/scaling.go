@@ -1,0 +1,56 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"predplace"
+)
+
+// ScaleStability verifies the methodological claim EXPERIMENTS.md relies on:
+// the *relative* costs between placement algorithms are stable across
+// database scales, so shapes measured at test scale transfer to the paper's
+// full size. It runs Query 1 (the Figure 3 contrast) at three scales and
+// compares the PushDown/Migration ratio.
+func (h *Harness) ScaleStability() (*Report, error) {
+	scales := []float64{0.01, 0.02, 0.05}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%8s %14s %14s %8s\n", "scale", "pushdown", "migration", "ratio")
+	var ratios []float64
+	for _, sc := range scales {
+		db, err := predplace.Open(predplace.Config{Scale: sc, Tables: []int{3, 9}})
+		if err != nil {
+			return nil, err
+		}
+		pd, err := db.Query(Query1, predplace.PushDown)
+		if err != nil {
+			return nil, err
+		}
+		mg, err := db.Query(Query1, predplace.Migration)
+		if err != nil {
+			return nil, err
+		}
+		ratio := pd.Stats.Charged() / mg.Stats.Charged()
+		ratios = append(ratios, ratio)
+		fmt.Fprintf(&b, "%8.3f %14.0f %14.0f %7.2fx\n",
+			sc, pd.Stats.Charged(), mg.Stats.Charged(), ratio)
+	}
+	rep := &Report{
+		ID:    "scaling",
+		Title: "Scale stability of relative results (methodology check)",
+		Text:  b.String(),
+	}
+	minR, maxR := ratios[0], ratios[0]
+	for _, r := range ratios[1:] {
+		if r < minR {
+			minR = r
+		}
+		if r > maxR {
+			maxR = r
+		}
+	}
+	rep.Shape = append(rep.Shape, check(
+		"the PushDown/Migration ratio varies < 15% across a 5x scale range",
+		maxR/minR < 1.15, "min=%.2f max=%.2f", minR, maxR))
+	return rep, nil
+}

@@ -1,0 +1,129 @@
+package optimizer
+
+import (
+	"testing"
+
+	"predplace/internal/plan"
+	"predplace/internal/query"
+)
+
+// isBushy reports whether any join in the tree has a join beneath its inner.
+func isBushy(root plan.Node) bool {
+	found := false
+	var walk func(plan.Node)
+	walk = func(n plan.Node) {
+		if j, ok := n.(*plan.Join); ok {
+			if _, inner := plan.TopFilters(j.Inner); true {
+				if _, isJoin := inner.(*plan.Join); isJoin {
+					found = true
+				}
+			}
+		}
+		for _, c := range n.Children() {
+			walk(c)
+		}
+	}
+	walk(root)
+	return found
+}
+
+func TestBushyNeverLosesToLeftDeepOracle(t *testing.T) {
+	db := benchDB(t, 1, 2, 3, 4)
+	queries := []func() *query.Query{
+		func() *query.Query {
+			return mkQuery(t, db, []string{"t1", "t2", "t3", "t4"}, []*query.Predicate{
+				jp("t1", "ua1", "t2", "ua1"),
+				jp("t3", "ua1", "t4", "ua1"),
+				jp("t2", "a10", "t3", "a10"),
+				fp(t, db, "costly100", query.ColRef{Table: "t2", Col: "u20"}),
+			})
+		},
+		func() *query.Query {
+			return mkQuery(t, db, []string{"t1", "t3", "t4"}, []*query.Predicate{
+				jp("t1", "ua1", "t3", "ua1"),
+				jp("t3", "ua1", "t4", "ua1"),
+				fp(t, db, "costly10", query.ColRef{Table: "t4", Col: "u10"}),
+			})
+		},
+	}
+	for qi, mk := range queries {
+		bushy, _ := planWith(t, db, ExhaustiveBushy, mk())
+		ld, _ := planWith(t, db, Exhaustive, mk())
+		if bushy.Cost() > ld.Cost()*1.0001 {
+			t.Fatalf("query %d: bushy oracle (%v) lost to left-deep oracle (%v)",
+				qi, bushy.Cost(), ld.Cost())
+		}
+	}
+}
+
+func TestBushyFindsBushyWinner(t *testing.T) {
+	// Two selective pair-joins bridged by a weaker predicate: joining the
+	// pairs independently first ((t1⋈t2) ⋈ (t3⋈t4)) beats every left-deep
+	// order, which must drag a big intermediate through the bridge.
+	db := benchDB(t, 1, 2, 3, 4)
+	q := mkQuery(t, db, []string{"t4", "t2", "t3", "t1"}, []*query.Predicate{
+		jp("t4", "a10", "t2", "a10"),
+		jp("t2", "a10", "t3", "a10"),
+		jp("t3", "ua1", "t1", "ua1"),
+	})
+	bushy, _ := planWith(t, db, ExhaustiveBushy, q)
+	q2 := mkQuery(t, db, []string{"t4", "t2", "t3", "t1"}, []*query.Predicate{
+		jp("t4", "a10", "t2", "a10"),
+		jp("t2", "a10", "t3", "a10"),
+		jp("t3", "ua1", "t1", "ua1"),
+	})
+	ld, _ := planWith(t, db, Exhaustive, q2)
+	if !isBushy(bushy) {
+		t.Logf("bushy oracle chose a left-deep plan here:\n%s", plan.Render(bushy))
+	}
+	if bushy.Cost() > ld.Cost()*1.0001 {
+		t.Fatalf("bushy (%v) must not lose to left-deep (%v)", bushy.Cost(), ld.Cost())
+	}
+}
+
+func TestBushyGuards(t *testing.T) {
+	db := benchDB(t, 1, 2, 3, 4)
+	tables := make([]string, 8)
+	for i := range tables {
+		tables[i] = "t1"
+	}
+	o := New(db.Cat, Options{Algorithm: ExhaustiveBushy})
+	q, err := query.NewQuery([]string{"t1", "t2"}, []*query.Predicate{
+		jp("t1", "ua1", "t2", "ua1"),
+		fp(t, db, "costly1", query.ColRef{Table: "t1", Col: "u10"}),
+		fp(t, db, "costly1", query.ColRef{Table: "t1", Col: "u20"}),
+		fp(t, db, "costly10", query.ColRef{Table: "t1", Col: "u100"}),
+		fp(t, db, "costly10", query.ColRef{Table: "t2", Col: "u10"}),
+		fp(t, db, "costly100", query.ColRef{Table: "t2", Col: "u20"}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := query.Analyze(db.Cat, q); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := o.Plan(q); err == nil {
+		t.Fatal("more than 4 expensive selections should be rejected")
+	}
+}
+
+func TestBushyPlansExecuteCorrectly(t *testing.T) {
+	// The bushy DP must place every predicate exactly once.
+	db := benchDB(t, 1, 2, 3)
+	sel := fp(t, db, "costly10", query.ColRef{Table: "t2", Col: "u10"})
+	q := mkQuery(t, db, []string{"t1", "t2", "t3"}, []*query.Predicate{
+		jp("t1", "ua1", "t2", "ua1"),
+		jp("t2", "ua1", "t3", "ua1"),
+		sel,
+	})
+	root, _ := planWith(t, db, ExhaustiveBushy, q)
+	count := 0
+	for _, f := range plan.CollectFilters(root) {
+		if f.Pred == sel {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("expensive selection applied %d times:\n%s", count, plan.Render(root))
+	}
+}

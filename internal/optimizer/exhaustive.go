@@ -1,0 +1,104 @@
+package optimizer
+
+import (
+	"fmt"
+	"math"
+
+	"predplace/internal/plan"
+	"predplace/internal/query"
+)
+
+// planExhaustive enumerates every left-deep join order crossed with every
+// valid interleaving of the expensive selections into the plan — the
+// brute-force oracle in Table 1 ("all queries, including those with
+// expensive primary joins; prohibitive computational complexity").
+//
+// Expensive join predicates are not repositioned independently: they sit at
+// their home join (as primary or immediately above), whose position the
+// order enumeration already varies.
+func (o *Optimizer) planExhaustive(q *query.Query) (plan.Node, *Info, error) {
+	info := &Info{}
+	n := len(q.Tables)
+	var exp []*query.Predicate
+	for _, p := range q.Preds {
+		if p.IsExpensive() && !p.IsJoin() {
+			exp = append(exp, p)
+		}
+	}
+	if n > 7 || len(exp) > 4 {
+		return nil, nil, fmt.Errorf("optimizer: exhaustive enumeration too large (%d tables, %d expensive selections)", n, len(exp))
+	}
+
+	tables := make([]int, n)
+	for i := range tables {
+		tables[i] = i
+	}
+
+	var best plan.Node
+	bestCost := math.Inf(1)
+	tried := 0
+
+	permutations(tables, func(order []int) {
+		ord := append([]int(nil), order...)
+		// Legal positions per expensive selection given this order.
+		posOf := make(map[string]int, n) // table -> step it enters (-1 = base)
+		posOf[q.Tables[ord[0]]] = -1
+		for s, idx := range ord[1:] {
+			posOf[q.Tables[idx]] = s
+		}
+		options := make([][]int, len(exp))
+		for i, p := range exp {
+			home := -1
+			for _, t := range p.Tables {
+				if posOf[t] > home {
+					home = posOf[t]
+				}
+			}
+			var opts []int
+			opts = append(opts, ScanLevel) // at the home table's scan
+			for s := maxInt(home, 0); s < n-1; s++ {
+				opts = append(opts, s)
+			}
+			if home >= 0 {
+				// ScanLevel for an inner table means "below its join".
+			}
+			options[i] = opts
+		}
+		// Cartesian product of placements.
+		place := map[*query.Predicate]int{}
+		var rec func(i int)
+		rec = func(i int) {
+			if i == len(exp) {
+				tried++
+				plans, err := o.orderedPlans(q, ord, place)
+				if err != nil {
+					return
+				}
+				for _, sp := range plans {
+					if sp.cost < bestCost {
+						best, bestCost = sp.root, sp.cost
+					}
+				}
+				return
+			}
+			for _, pos := range options[i] {
+				place[exp[i]] = pos
+				rec(i + 1)
+			}
+			delete(place, exp[i])
+		}
+		rec(0)
+	})
+	info.PlansRetained = tried
+	if best == nil {
+		return nil, nil, fmt.Errorf("optimizer: exhaustive search found no plan")
+	}
+	return best, info, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

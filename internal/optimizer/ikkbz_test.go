@@ -1,0 +1,212 @@
+package optimizer
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"predplace/internal/query"
+)
+
+func TestIKComposeMatchesGroupRankLaw(t *testing.T) {
+	a := ikUnit{T: 1.0, C: 3}
+	b := ikUnit{T: 0.1, C: 3}
+	g := ikCompose(a, b)
+	if math.Abs(g.T-0.1) > 1e-12 || math.Abs(g.C-6) > 1e-12 {
+		t.Fatalf("compose = %+v", g)
+	}
+	want := (0.1 - 1) / 6.0
+	if math.Abs(g.rank()-want) > 1e-12 {
+		t.Fatalf("rank = %v, want %v", g.rank(), want)
+	}
+}
+
+func TestIKNormalizeAscending(t *testing.T) {
+	chain := []ikUnit{
+		{T: 0.9, C: 1, items: []ikItem{{table: 0}}},
+		{T: 0.5, C: 1, items: []ikItem{{table: 1}}},
+		{T: 0.1, C: 1, items: []ikItem{{table: 2}}},
+		{T: 2.0, C: 1, items: []ikItem{{table: 3}}},
+	}
+	out := ikNormalize(chain)
+	for i := 1; i < len(out); i++ {
+		if out[i-1].rank() > out[i].rank() {
+			t.Fatal("ranks not ascending after normalization")
+		}
+	}
+	// Item order must be preserved across merges.
+	var items []int
+	for _, u := range out {
+		for _, it := range u.items {
+			items = append(items, it.table)
+		}
+	}
+	for i, want := range []int{0, 1, 2, 3} {
+		if items[i] != want {
+			t.Fatalf("items reordered: %v", items)
+		}
+	}
+}
+
+func TestIKNormalizePreservesTotalEffectQuick(t *testing.T) {
+	f := func(ts, cs [4]float64) bool {
+		chain := make([]ikUnit, 4)
+		for i := range chain {
+			chain[i] = ikUnit{
+				T: math.Mod(math.Abs(ts[i]), 3) + 0.01,
+				C: math.Mod(math.Abs(cs[i]), 10) + 0.01,
+			}
+		}
+		// Total T (product) must be invariant under normalization; total C
+		// must equal the ASI sequential cost, also invariant.
+		prodT, seqC, prefix := 1.0, 0.0, 1.0
+		for _, u := range chain {
+			prodT *= u.T
+			seqC += prefix * u.C
+			prefix *= u.T
+		}
+		out := ikNormalize(chain)
+		prodT2, seqC2, prefix2 := 1.0, 0.0, 1.0
+		for _, u := range out {
+			prodT2 *= u.T
+			seqC2 += prefix2 * u.C
+			prefix2 *= u.T
+		}
+		rel := func(a, b float64) float64 { return math.Abs(a-b) / (1 + math.Abs(a)) }
+		return rel(prodT, prodT2) < 1e-9 && rel(seqC, seqC2) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildIKGraphTree(t *testing.T) {
+	db := benchDB(t, 1, 3, 10)
+	q := mkQuery(t, db, []string{"t1", "t3", "t10"}, []*query.Predicate{
+		jp("t1", "ua1", "t10", "ua1"),
+		jp("t3", "ua1", "t10", "ua1"),
+	})
+	adj, err := buildIKGraph(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Star centered on t10 (index 2): degree 2.
+	if len(adj[2]) != 2 || len(adj[0]) != 1 || len(adj[1]) != 1 {
+		t.Fatalf("adjacency = %v", adj)
+	}
+}
+
+func TestBuildIKGraphRejectsCycle(t *testing.T) {
+	db := benchDB(t, 1, 3, 10)
+	q := mkQuery(t, db, []string{"t1", "t3", "t10"}, []*query.Predicate{
+		jp("t1", "ua1", "t10", "ua1"),
+		jp("t3", "ua1", "t10", "ua1"),
+		jp("t1", "a10", "t3", "a10"),
+	})
+	if _, err := buildIKGraph(q); err == nil {
+		t.Fatal("cycle should be rejected")
+	}
+}
+
+func TestBuildIKGraphRejectsDisconnected(t *testing.T) {
+	db := benchDB(t, 1, 3)
+	q := mkQuery(t, db, []string{"t1", "t3"}, nil)
+	if _, err := buildIKGraph(q); err == nil {
+		t.Fatal("disconnected graph should be rejected")
+	}
+}
+
+func TestLDLIKKBZCloseToExhaustiveLDL(t *testing.T) {
+	// On acyclic queries, the polynomial orderer should land within a small
+	// factor of the exhaustive LDL enumeration (its ASI cost model is an
+	// abstraction of the real one, so exact ties are not guaranteed).
+	db := benchDB(t, 1, 3, 9, 10)
+	queries := []func() *query.Query{
+		func() *query.Query {
+			return mkQuery(t, db, []string{"t3", "t9"}, []*query.Predicate{
+				jp("t3", "ua1", "t9", "ua1"),
+				fp(t, db, "costly100", query.ColRef{Table: "t9", Col: "u20"}),
+			})
+		},
+		func() *query.Query {
+			return mkQuery(t, db, []string{"t3", "t10", "t1"}, []*query.Predicate{
+				jp("t3", "ua1", "t10", "ua1"),
+				jp("t10", "ua1", "t1", "ua1"),
+				fp(t, db, "costly100", query.ColRef{Table: "t3", Col: "u20"}),
+			})
+		},
+		func() *query.Query {
+			return mkQuery(t, db, []string{"t1", "t3", "t9", "t10"}, []*query.Predicate{
+				jp("t1", "ua1", "t3", "ua1"),
+				jp("t3", "ua1", "t10", "ua1"),
+				jp("t9", "a10", "t10", "a10"),
+				fp(t, db, "costly10", query.ColRef{Table: "t9", Col: "u10"}),
+			})
+		},
+	}
+	for qi, mk := range queries {
+		ik, _ := planWith(t, db, LDLIKKBZ, mk())
+		ldl, _ := planWith(t, db, LDL, mk())
+		if ik.Cost() > ldl.Cost()*2.5 {
+			t.Fatalf("query %d: IK-KBZ (%v) too far from exhaustive LDL (%v)", qi, ik.Cost(), ldl.Cost())
+		}
+		if ldl.Cost() > ik.Cost()*1.0001 {
+			t.Fatalf("query %d: exhaustive LDL (%v) lost to IK-KBZ (%v)?", qi, ldl.Cost(), ik.Cost())
+		}
+	}
+}
+
+func TestLDLIKKBZFallsBackOnCycle(t *testing.T) {
+	db := benchDB(t, 1, 3, 10)
+	q := mkQuery(t, db, []string{"t1", "t3", "t10"}, []*query.Predicate{
+		jp("t1", "ua1", "t10", "ua1"),
+		jp("t3", "ua1", "t10", "ua1"),
+		jp("t1", "a10", "t3", "a10"),
+		fp(t, db, "costly100", query.ColRef{Table: "t3", Col: "u20"}),
+	})
+	root, _ := planWith(t, db, LDLIKKBZ, q) // must not error: exhaustive fallback
+	if root.Cost() <= 0 {
+		t.Fatal("fallback produced a bad plan")
+	}
+}
+
+func TestLDLIKKBZSingleTable(t *testing.T) {
+	db := benchDB(t, 3)
+	q := mkQuery(t, db, []string{"t3"}, []*query.Predicate{
+		fp(t, db, "costly100", query.ColRef{Table: "t3", Col: "u20"}),
+		fp(t, db, "costly1", query.ColRef{Table: "t3", Col: "u10"}),
+	})
+	root, _ := planWith(t, db, LDLIKKBZ, q)
+	if root.Card() <= 0 {
+		t.Fatal("bad single-table plan")
+	}
+}
+
+func TestDisableUnpruneableAblation(t *testing.T) {
+	// With retention disabled, Migration may do worse (never better).
+	db := benchDB(t, 1, 3, 10)
+	mk := func() *query.Query {
+		return mkQuery(t, db, []string{"t3", "t10", "t1"}, []*query.Predicate{
+			jp("t3", "ua1", "t10", "ua1"),
+			jp("t10", "ua1", "t1", "ua1"),
+			fp(t, db, "costly100", query.ColRef{Table: "t3", Col: "u20"}),
+		})
+	}
+	full := New(db.Cat, Options{Algorithm: Migration})
+	ablated := New(db.Cat, Options{Algorithm: Migration, DisableUnpruneable: true})
+	rootFull, infoFull, err := full.Plan(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rootAbl, infoAbl, err := ablated.Plan(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rootFull.Cost() > rootAbl.Cost()*1.0001 {
+		t.Fatalf("retention made Migration worse: %v vs %v", rootFull.Cost(), rootAbl.Cost())
+	}
+	if infoAbl.PlansRetained > infoFull.PlansRetained {
+		t.Fatalf("ablation retained more plans (%d) than full (%d)?",
+			infoAbl.PlansRetained, infoFull.PlansRetained)
+	}
+}

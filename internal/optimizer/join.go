@@ -1,0 +1,288 @@
+package optimizer
+
+import (
+	"math"
+
+	"predplace/internal/expr"
+	"predplace/internal/plan"
+	"predplace/internal/query"
+)
+
+// connectingPreds returns the predicates that span the outer set and the
+// inner table: every referenced table is available in the join, and at least
+// one lives on each side.
+func connectingPreds(q *query.Query, outerSet uint32, innerIdx int) []*query.Predicate {
+	avail := map[string]bool{}
+	outerHas := map[string]bool{}
+	for i, t := range q.Tables {
+		if outerSet&(1<<uint(i)) != 0 {
+			avail[t] = true
+			outerHas[t] = true
+		}
+	}
+	inner := q.Tables[innerIdx]
+	avail[inner] = true
+	var out []*query.Predicate
+	for _, p := range q.Preds {
+		if !p.IsJoin() || !p.CoveredBy(avail) || !p.References(inner) {
+			continue
+		}
+		touchesOuter := false
+		for _, t := range p.Tables {
+			if outerHas[t] {
+				touchesOuter = true
+			}
+		}
+		if touchesOuter {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// tableIndex returns the position of t in q.Tables.
+func tableIndex(q *query.Query, t string) int {
+	for i, x := range q.Tables {
+		if x == t {
+			return i
+		}
+	}
+	return -1
+}
+
+// joinCandidates builds every join of outer ⋈ inner the methods allow,
+// applying the configured algorithm's pullup policy, and returns annotated
+// subplans.
+func (o *Optimizer) joinCandidates(q *query.Query, outer, inner *subplan) ([]*subplan, error) {
+	innerIdx := bits32(inner.set)
+	conns := connectingPreds(q, outer.set, innerIdx)
+	innerTable := q.Tables[innerIdx]
+
+	// Classify the connecting predicates.
+	var eqPreds []*query.Predicate // cheap equality column-column joins
+	for _, p := range conns {
+		if p.Kind == query.KindJoinCmp && p.Op == expr.OpEQ && !p.IsExpensive() {
+			eqPreds = append(eqPreds, p)
+		}
+	}
+
+	type method struct {
+		m        plan.JoinMethod
+		primary  *query.Predicate
+		indexCol string
+	}
+	var methods []method
+	tab, err := o.cat.Table(innerTable)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range eqPreds {
+		innerRef, _ := sides(p, innerTable)
+		methods = append(methods,
+			method{m: plan.HashJoin, primary: p},
+			method{m: plan.MergeJoin, primary: p},
+		)
+		if tab.HasIndex(innerRef.Col) {
+			methods = append(methods, method{m: plan.IndexNestLoop, primary: p, indexCol: innerRef.Col})
+		}
+	}
+	// Nested loop with the minimal-rank connecting predicate as primary
+	// (footnote 1 of the paper); a cross product when nothing connects.
+	nlPrimary := minRankPred(conns)
+	methods = append(methods, method{m: plan.NestLoop, primary: nlPrimary})
+
+	var out []*subplan
+	for _, md := range methods {
+		var secondaries []*query.Predicate
+		for _, p := range conns {
+			if p != md.primary {
+				secondaries = append(secondaries, p)
+			}
+		}
+		sp, err := o.buildJoin(q, outer, inner, md.m, md.primary, md.indexCol, secondaries)
+		if err != nil {
+			return nil, err
+		}
+		if sp != nil {
+			out = append(out, sp)
+		}
+	}
+	return out, nil
+}
+
+// sides splits an equality join predicate into (innerSide, outerSide)
+// references relative to innerTable.
+func sides(p *query.Predicate, innerTable string) (innerRef, outerRef query.ColRef) {
+	if p.Left.Table == innerTable {
+		return p.Left, p.Right
+	}
+	return p.Right, p.Left
+}
+
+// minRankPred picks the minimal-rank predicate (nil if none).
+func minRankPred(preds []*query.Predicate) *query.Predicate {
+	var best *query.Predicate
+	bestRank := math.Inf(1)
+	for _, p := range preds {
+		if r := p.Rank(); best == nil || r < bestRank {
+			best, bestRank = p, r
+		}
+	}
+	return best
+}
+
+func bits32(set uint32) int {
+	for i := 0; i < 32; i++ {
+		if set&(1<<uint(i)) != 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// buildJoin constructs one candidate join with the algorithm's pullup policy
+// and returns its annotated subplan (nil when the combination is invalid).
+func (o *Optimizer) buildJoin(q *query.Query, outer, inner *subplan,
+	m plan.JoinMethod, primary *query.Predicate, indexCol string,
+	secondaries []*query.Predicate) (*subplan, error) {
+
+	outerChainF, outerBase := plan.TopFilters(outer.root)
+	innerChainF, innerBase := plan.TopFilters(inner.root)
+	outerChain := bottomFirst(outerChainF)
+	innerChain := bottomFirst(innerChainF)
+
+	// Tentative join with children as-is, to measure per-input ranks with
+	// plan-time cardinalities (§5.2).
+	mk := func(oPreds, iPreds []*query.Predicate) (*plan.Join, error) {
+		on := chainFilters(outerBase, oPreds)
+		in := chainFilters(innerBase, iPreds)
+		j := &plan.Join{
+			Method:           m,
+			Outer:            on,
+			Inner:            in,
+			Primary:          primary,
+			InnerIndexCol:    indexCol,
+			ExpensivePrimary: primary != nil && primary.IsExpensive(),
+		}
+		if m == plan.MergeJoin {
+			innerTable := q.Tables[bits32(inner.set)]
+			innerRef, outerRef := sides(primary, innerTable)
+			j.SortOuter = outer.order != outerRef
+			j.SortInner = inner.order != innerRef
+		}
+		j.ColRefs = plan.ConcatCols(on, in)
+		if err := o.model.Annotate(j); err != nil {
+			return nil, err
+		}
+		return j, nil
+	}
+
+	tentative, err := mk(outerChain, innerChain)
+	if err != nil {
+		return nil, nil //nolint:nilerr // invalid method/shape combination: skip candidate
+	}
+
+	hoistOut, hoistIn := o.chooseHoists(tentative, outerChain, innerChain, outer.card, inner.card)
+
+	keepOut := subtract(outerChain, hoistOut)
+	keepIn := subtract(innerChain, hoistIn)
+	j, err := mk(keepOut, keepIn)
+	if err != nil {
+		return nil, nil //nolint:nilerr
+	}
+
+	// Everything above the join: secondaries plus hoisted selections, in
+	// ascending rank order (bottom first).
+	above := append(append([]*query.Predicate(nil), secondaries...), hoistOut...)
+	above = append(above, hoistIn...)
+	above = o.orderByRank(above, j.EstCard)
+	root := chainFilters(j, above)
+	if err := o.model.Annotate(root); err != nil {
+		return nil, err
+	}
+
+	// Output order: merge join emits join-column order; the others preserve
+	// the outer stream's order.
+	var order query.ColRef
+	if m == plan.MergeJoin {
+		innerTable := q.Tables[bits32(inner.set)]
+		_, outerRef := sides(primary, innerTable)
+		order = outerRef
+	} else {
+		order = outer.order
+	}
+
+	buried := outer.buried | inner.buried
+	for _, p := range keepOut {
+		if p.IsExpensive() {
+			buried |= 1 << uint(p.ID)
+		}
+	}
+	for _, p := range keepIn {
+		if p.IsExpensive() {
+			buried |= 1 << uint(p.ID)
+		}
+	}
+
+	return &subplan{
+		root:   root,
+		set:    outer.set | inner.set,
+		order:  order,
+		cost:   root.Cost(),
+		card:   root.Card(),
+		buried: buried,
+	}, nil
+}
+
+// chooseHoists decides which expensive selections to pull above the join,
+// per the configured algorithm. Inner pullup is decided first (§5.2).
+func (o *Optimizer) chooseHoists(j *plan.Join, outerChain, innerChain []*query.Predicate,
+	outerCard, innerCard float64) (hoistOut, hoistIn []*query.Predicate) {
+
+	switch o.opts.Algorithm {
+	case NaivePushDown, PushDown:
+		return nil, nil
+	case PullUp:
+		return expensiveOf(outerChain), expensiveOf(innerChain)
+	default: // PullRank, Migration
+		os, is := o.model.JoinInputStats(j)
+		innerRank := is.Rank()
+		for _, p := range expensiveOf(innerChain) {
+			if o.selRank(p, innerCard) > innerRank {
+				hoistIn = append(hoistIn, p)
+			}
+		}
+		outerRank := os.Rank()
+		for _, p := range expensiveOf(outerChain) {
+			if o.selRank(p, outerCard) > outerRank {
+				hoistOut = append(hoistOut, p)
+			}
+		}
+		return hoistOut, hoistIn
+	}
+}
+
+func expensiveOf(preds []*query.Predicate) []*query.Predicate {
+	var out []*query.Predicate
+	for _, p := range preds {
+		if p.IsExpensive() {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// subtract returns preds minus remove, preserving order.
+func subtract(preds, remove []*query.Predicate) []*query.Predicate {
+	rm := map[*query.Predicate]bool{}
+	for _, p := range remove {
+		rm[p] = true
+	}
+	var out []*query.Predicate
+	for _, p := range preds {
+		if !rm[p] {
+			out = append(out, p)
+		}
+	}
+	return out
+}

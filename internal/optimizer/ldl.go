@@ -1,0 +1,93 @@
+package optimizer
+
+import (
+	"fmt"
+	"math"
+
+	"predplace/internal/plan"
+	"predplace/internal/query"
+)
+
+// planLDL implements the LDL algorithm (§3.1): every expensive selection is
+// treated as a join with a virtual relation of infinite cardinality, and a
+// traditional join orderer plans the rewritten query over *left-deep* trees
+// only. Because no left-deep tree can evaluate a virtual relation below the
+// join its base relation enters as an inner, LDL is forced to pull expensive
+// selections up from join inners — the over-eager pullup the paper
+// demonstrates with Figures 1 and 2.
+//
+// Following Yajima et al. [YKY+91], the orderings are enumerated
+// exhaustively (time exponential in the number of joins plus expensive
+// selections).
+func (o *Optimizer) planLDL(q *query.Query) (plan.Node, *Info, error) {
+	info := &Info{}
+
+	// Items: table indices 0..n-1, then virtual relations n..n+v-1 (one per
+	// expensive single-table selection).
+	n := len(q.Tables)
+	var virtuals []*query.Predicate
+	for _, p := range q.Preds {
+		if p.IsExpensive() && !p.IsJoin() {
+			virtuals = append(virtuals, p)
+		}
+	}
+	v := len(virtuals)
+	if n+v > 9 {
+		return nil, nil, fmt.Errorf("optimizer: LDL enumeration over %d items is too large", n+v)
+	}
+
+	homeOf := func(vi int) int { return tableIndex(q, virtuals[vi].Tables[0]) }
+
+	items := make([]int, n+v)
+	for i := range items {
+		items[i] = i
+	}
+
+	var best plan.Node
+	bestCost := math.Inf(1)
+	tried := 0
+	permutations(items, func(perm []int) {
+		// Validity: the first item must be a real table, and each virtual
+		// item must appear after its base table.
+		if perm[0] >= n {
+			return
+		}
+		seen := make(map[int]bool, n)
+		var tables []int
+		place := map[*query.Predicate]int{}
+		for _, it := range perm {
+			if it < n {
+				seen[it] = true
+				tables = append(tables, it)
+				continue
+			}
+			vi := it - n
+			if !seen[homeOf(vi)] {
+				return // virtual before its base relation
+			}
+			// Applying the virtual join here means filtering the current
+			// stream: scan level if no join has happened yet, otherwise
+			// above the latest join step.
+			if len(tables) == 1 {
+				place[virtuals[vi]] = ScanLevel
+			} else {
+				place[virtuals[vi]] = len(tables) - 2
+			}
+		}
+		tried++
+		plans, err := o.orderedPlans(q, tables, place)
+		if err != nil {
+			return
+		}
+		for _, sp := range plans {
+			if sp.cost < bestCost {
+				best, bestCost = sp.root, sp.cost
+			}
+		}
+	})
+	info.PlansRetained = tried
+	if best == nil {
+		return nil, nil, fmt.Errorf("optimizer: LDL found no plan")
+	}
+	return best, info, nil
+}

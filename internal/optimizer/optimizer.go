@@ -1,0 +1,194 @@
+package optimizer
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"predplace/internal/catalog"
+	"predplace/internal/cost"
+	"predplace/internal/plan"
+	"predplace/internal/query"
+)
+
+// Algorithm selects the predicate-placement scheme (Table 1 of the paper).
+type Algorithm int
+
+// The placement algorithms, ordered roughly by eagerness to pull selections
+// up (the paper's Figure 10 spectrum runs PushDown < PullRank ≈ Migration <
+// LDL < PullUp).
+const (
+	// NaivePushDown pushes every selection to the scans in query order —
+	// the pre-PushDown+ baseline without rank ordering.
+	NaivePushDown Algorithm = iota
+	// PushDown is the paper's PushDown+ (selection pushdown with
+	// rank-ordered selections). Optimal for single-table queries.
+	PushDown
+	// PullUp pulls every expensive selection to the top of each subplan.
+	PullUp
+	// PullRank pulls selections above a join when their rank exceeds the
+	// join's per-input rank; optimal for single-join queries.
+	PullRank
+	// Migration is Predicate Migration: PullRank during enumeration with
+	// unpruneable subplan retention, then the series-parallel
+	// (parallel-chains) algorithm applied to every root-to-leaf stream of
+	// each retained plan until fixpoint.
+	Migration
+	// LDL treats expensive selections as joins with virtual relations and
+	// orders left-deep trees, which forces pullup from join inners.
+	LDL
+	// LDLIKKBZ is LDL with the polynomial IK-KBZ join orderer of [KZ88]
+	// instead of exhaustive ordering; acyclic query graphs only.
+	LDLIKKBZ
+	// Exhaustive enumerates every left-deep join order and every valid
+	// interleaving of expensive selections — exponential; the oracle.
+	Exhaustive
+	// ExhaustiveBushy extends the oracle to bushy join trees (§3.1's sketch
+	// for repairing LDL); hash and merge joins accept composite inners.
+	ExhaustiveBushy
+)
+
+// String names the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case NaivePushDown:
+		return "NaivePushDown"
+	case PushDown:
+		return "PushDown"
+	case PullUp:
+		return "PullUp"
+	case PullRank:
+		return "PullRank"
+	case Migration:
+		return "PredicateMigration"
+	case LDL:
+		return "LDL"
+	case LDLIKKBZ:
+		return "LDL-IKKBZ"
+	case Exhaustive:
+		return "Exhaustive"
+	case ExhaustiveBushy:
+		return "ExhaustiveBushy"
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// Algorithms lists every implemented algorithm in eagerness order.
+func Algorithms() []Algorithm {
+	return []Algorithm{NaivePushDown, PushDown, PullUp, PullRank, Migration, LDL, LDLIKKBZ, Exhaustive, ExhaustiveBushy}
+}
+
+// Options configures an optimization run.
+type Options struct {
+	// Algorithm selects the placement scheme.
+	Algorithm Algorithm
+	// Caching tells the cost model predicate caching will be enabled at
+	// execution: value-based join selectivities bounded by 1 (§5.1) and
+	// distinct-capped invocation estimates.
+	Caching bool
+	// MaxMigrationPasses bounds the migration fixpoint loop (default 24).
+	MaxMigrationPasses int
+	// DisableUnpruneable turns off the §4.4 unpruneable-subplan retention
+	// (ablation: Migration then post-processes only the plans ordinary
+	// pruning kept, and can miss group pullups whose join order was pruned).
+	DisableUnpruneable bool
+}
+
+// Info reports planning diagnostics.
+type Info struct {
+	Algorithm Algorithm
+	// EstCost and EstCard are the chosen plan's estimates.
+	EstCost float64
+	EstCard float64
+	// PlansRetained counts subplans kept across all DP entries.
+	PlansRetained int
+	// UnpruneableRetained counts subplans kept only because they were
+	// unpruneable (Predicate Migration's plan-space enlargement).
+	UnpruneableRetained int
+	// MigrationPasses counts stream passes until fixpoint.
+	MigrationPasses int
+	// Elapsed is the planning wall time.
+	Elapsed time.Duration
+}
+
+// Optimizer plans queries against a catalog.
+type Optimizer struct {
+	cat   *catalog.Catalog
+	model *cost.Model
+	opts  Options
+}
+
+// New creates an optimizer.
+func New(cat *catalog.Catalog, opts Options) *Optimizer {
+	if opts.MaxMigrationPasses == 0 {
+		opts.MaxMigrationPasses = 24
+	}
+	return &Optimizer{cat: cat, model: cost.NewModel(cat, opts.Caching), opts: opts}
+}
+
+// Model exposes the optimizer's cost model (used by the harness to report
+// estimated costs of foreign plans).
+func (o *Optimizer) Model() *cost.Model { return o.model }
+
+// Plan optimizes the query, returning the chosen plan tree (annotated with
+// estimates) and planning diagnostics.
+func (o *Optimizer) Plan(q *query.Query) (plan.Node, *Info, error) {
+	start := time.Now()
+	if err := query.Analyze(o.cat, q); err != nil {
+		return nil, nil, err
+	}
+	if len(q.Tables) == 0 {
+		return nil, nil, fmt.Errorf("optimizer: query has no tables")
+	}
+	var (
+		root plan.Node
+		info *Info
+		err  error
+	)
+	switch o.opts.Algorithm {
+	case LDL:
+		root, info, err = o.planLDL(q)
+	case LDLIKKBZ:
+		root, info, err = o.planLDLIKKBZ(q)
+	case Exhaustive:
+		root, info, err = o.planExhaustive(q)
+	case ExhaustiveBushy:
+		root, info, err = o.planExhaustiveBushy(q)
+	default:
+		root, info, err = o.planSystemR(q)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	info.Algorithm = o.opts.Algorithm
+	info.Elapsed = time.Since(start)
+	info.EstCost = root.Cost()
+	info.EstCard = root.Card()
+	return root, info, nil
+}
+
+// selRank orders selections by the rank metric: (selectivity−1)/cost, with
+// caching-aware per-tuple costs. streamCard contextualizes the caching
+// discount.
+func (o *Optimizer) selRank(p *query.Predicate, streamCard float64) float64 {
+	return o.model.SelectionModule(p, streamCard).Rank()
+}
+
+// orderByRank sorts predicates ascending by rank (the provably optimal
+// sequence for selections, §4.1); ties break by predicate ID for
+// determinism. The Naive algorithm skips this ordering.
+func (o *Optimizer) orderByRank(preds []*query.Predicate, streamCard float64) []*query.Predicate {
+	out := append([]*query.Predicate(nil), preds...)
+	if o.opts.Algorithm == NaivePushDown {
+		sort.SliceStable(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+		return out
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		ri, rj := o.selRank(out[i], streamCard), o.selRank(out[j], streamCard)
+		if ri != rj {
+			return ri < rj
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}

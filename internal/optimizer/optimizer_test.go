@@ -1,0 +1,469 @@
+package optimizer
+
+import (
+	"math"
+	"testing"
+
+	"predplace/internal/expr"
+	"predplace/internal/plan"
+	"predplace/internal/query"
+)
+
+// filterDepth reports, for the filter holding pred, how many joins sit above
+// it (0 = at the very top) and how many sit below it.
+func filterPosition(t *testing.T, root plan.Node, pred *query.Predicate) (joinsAbove, joinsBelow int) {
+	t.Helper()
+	found := false
+	var walk func(n plan.Node, above int)
+	countJoins := func(n plan.Node) int {
+		c := 0
+		var w func(plan.Node)
+		w = func(m plan.Node) {
+			if _, ok := m.(*plan.Join); ok {
+				c++
+			}
+			for _, ch := range m.Children() {
+				w(ch)
+			}
+		}
+		w(n)
+		return c
+	}
+	walk = func(n plan.Node, above int) {
+		switch x := n.(type) {
+		case *plan.Filter:
+			if x.Pred == pred {
+				found = true
+				joinsAbove = above
+				joinsBelow = countJoins(x.Input)
+				return
+			}
+			walk(x.Input, above)
+		case *plan.Join:
+			walk(x.Outer, above+1)
+			walk(x.Inner, above+1)
+		}
+	}
+	walk(root, 0)
+	if !found {
+		t.Fatalf("predicate %v not found in plan:\n%s", pred, plan.Render(root))
+	}
+	return joinsAbove, joinsBelow
+}
+
+func TestSingleTableRankOrdering(t *testing.T) {
+	db := benchDB(t, 3)
+	// Two expensive predicates: costly100 (rank (0.5-1)/100 = -0.005) and
+	// costly1 (rank (0.5-1)/1 = -0.5). costly1 must be applied first.
+	p100 := fp(t, db, "costly100", query.ColRef{Table: "t3", Col: "u20"})
+	p1 := fp(t, db, "costly1", query.ColRef{Table: "t3", Col: "u10"})
+	q := mkQuery(t, db, []string{"t3"}, []*query.Predicate{p100, p1})
+	root, _ := planWith(t, db, PushDown, q)
+	chain, _ := plan.TopFilters(root)
+	if len(chain) != 2 {
+		t.Fatalf("want 2 filters, got %d:\n%s", len(chain), plan.Render(root))
+	}
+	// Top of chain = applied last = higher rank = costly100.
+	if chain[0].Pred != p100 || chain[1].Pred != p1 {
+		t.Fatalf("rank ordering wrong (want costly1 below costly100):\n%s", plan.Render(root))
+	}
+}
+
+func TestNaiveSkipsRankOrdering(t *testing.T) {
+	db := benchDB(t, 3)
+	p100 := fp(t, db, "costly100", query.ColRef{Table: "t3", Col: "u20"})
+	p1 := fp(t, db, "costly1", query.ColRef{Table: "t3", Col: "u10"})
+	q := mkQuery(t, db, []string{"t3"}, []*query.Predicate{p100, p1})
+	naive, _ := planWith(t, db, NaivePushDown, q)
+	ranked, _ := planWith(t, db, PushDown, q)
+	// Naive applies in query order (costly100 first = bottom), which costs
+	// more than the rank order.
+	if naive.Cost() <= ranked.Cost() {
+		t.Fatalf("naive (%v) should cost more than rank-ordered (%v)", naive.Cost(), ranked.Cost())
+	}
+}
+
+func TestSingleTableIndexScanChosen(t *testing.T) {
+	db := benchDB(t, 10)
+	q := mkQuery(t, db, []string{"t10"}, []*query.Predicate{
+		cp("t10", "a1", expr.OpEQ, 3),
+	})
+	root, _ := planWith(t, db, PushDown, q)
+	_, base := plan.TopFilters(root)
+	is, ok := base.(*plan.IndexScan)
+	if !ok {
+		t.Fatalf("expected IndexScan for selective indexed equality:\n%s", plan.Render(root))
+	}
+	if is.Col != "a1" || is.Eq == nil || is.Eq.I != 3 {
+		t.Fatalf("wrong index scan: %s", is.Describe())
+	}
+}
+
+func TestSeqScanForUnindexed(t *testing.T) {
+	db := benchDB(t, 10)
+	q := mkQuery(t, db, []string{"t10"}, []*query.Predicate{
+		cp("t10", "u100", expr.OpEQ, 3), // u-prefixed: unindexed
+	})
+	root, _ := planWith(t, db, PushDown, q)
+	_, base := plan.TopFilters(root)
+	if _, ok := base.(*plan.SeqScan); !ok {
+		t.Fatalf("expected SeqScan:\n%s", plan.Render(root))
+	}
+}
+
+// Query 1 shape (Figure 3): t3 ⋈ t10 on unique unindexed columns with an
+// expensive selection on t10. Join selectivity over t10 is 0.3, so the
+// selection belongs ABOVE the join; PushDown leaves it below and loses.
+func TestQuery1Placements(t *testing.T) {
+	db := benchDB(t, 3, 10)
+	sel := fp(t, db, "costly100", query.ColRef{Table: "t10", Col: "u20"})
+	mk := func() *query.Query {
+		return mkQuery(t, db, []string{"t3", "t10"}, []*query.Predicate{
+			jp("t3", "ua1", "t10", "ua1"), sel,
+		})
+	}
+
+	pd, _ := planWith(t, db, PushDown, mk())
+	above, below := filterPosition(t, pd, sel)
+	if above != 1 || below != 0 {
+		t.Fatalf("PushDown must leave the selection below the join (above=%d below=%d):\n%s",
+			above, below, plan.Render(pd))
+	}
+
+	for _, algo := range []Algorithm{PullUp, PullRank, Migration, Exhaustive} {
+		root, _ := planWith(t, db, algo, mk())
+		above, below = filterPosition(t, root, sel)
+		if above != 0 || below != 1 {
+			t.Fatalf("%v must pull the selection above the join (above=%d below=%d):\n%s",
+				algo, above, below, plan.Render(root))
+		}
+		if root.Cost() >= pd.Cost() {
+			t.Fatalf("%v (%v) should beat PushDown (%v)", algo, root.Cost(), pd.Cost())
+		}
+	}
+}
+
+// Query 2 shape (Figure 4): t9 ⋈ t10 — join selectivity over t10 ≈ 1, so
+// pulling the selection up buys (almost) nothing; PushDown/PullRank leave it
+// below, PullUp hoists it and pays a small penalty.
+func TestQuery2Placements(t *testing.T) {
+	db := benchDB(t, 9, 10)
+	sel := fp(t, db, "costly100", query.ColRef{Table: "t10", Col: "u20"})
+	mk := func() *query.Query {
+		return mkQuery(t, db, []string{"t9", "t10"}, []*query.Predicate{
+			jp("t9", "ua1", "t10", "ua1"), sel,
+		})
+	}
+	pu, _ := planWith(t, db, PullUp, mk())
+	pr, _ := planWith(t, db, PullRank, mk())
+	if _, below := filterPosition(t, pu, sel); below != 1 {
+		t.Fatalf("PullUp must hoist by definition:\n%s", plan.Render(pu))
+	}
+	// PullUp's error must be small relative to PushDown's error in Query 1
+	// ("this error is nearly insignificant").
+	if pu.Cost() > pr.Cost()*1.25 {
+		t.Fatalf("PullUp error should be small: pullup=%v pullrank=%v", pu.Cost(), pr.Cost())
+	}
+	if pr.Cost() > pu.Cost() {
+		t.Fatalf("PullRank should not lose to PullUp here: %v vs %v", pr.Cost(), pu.Cost())
+	}
+}
+
+// Query 3 shape (Figure 5): duplicating join (selectivity over t3 > 1
+// without caching) — over-eager pullup multiplies invocations.
+func TestQuery3PullUpPenalty(t *testing.T) {
+	db := benchDB(t, 3, 10)
+	sel := fp(t, db, "costly100", query.ColRef{Table: "t3", Col: "ua1"})
+	mk := func() *query.Query {
+		return mkQuery(t, db, []string{"t3", "t10"}, []*query.Predicate{
+			jp("t3", "a10", "t10", "a10"), sel,
+		})
+	}
+	pu, _ := planWith(t, db, PullUp, mk())
+	pd, _ := planWith(t, db, PushDown, mk())
+	mg, _ := planWith(t, db, Migration, mk())
+	if pu.Cost() < pd.Cost()*2 {
+		t.Fatalf("PullUp should be badly beaten on a duplicating join: pullup=%v pushdown=%v",
+			pu.Cost(), pd.Cost())
+	}
+	if mg.Cost() > pd.Cost()*1.001 {
+		t.Fatalf("Migration (%v) must match PushDown (%v) here", mg.Cost(), pd.Cost())
+	}
+	if _, below := filterPosition(t, mg, sel); below != 0 {
+		t.Fatalf("Migration must keep the selection below the duplicating join:\n%s", plan.Render(mg))
+	}
+}
+
+// Query 4 shape (Figures 6–8): rank(J1) = 0 (non-reducing), rank(J2) low;
+// the selection's rank lies between, so only the grouped pair {J1,J2}
+// justifies the pullup. PullRank misses it; Migration finds it.
+func TestQuery4MigrationBeatsPullRank(t *testing.T) {
+	db := benchDB(t, 1, 3, 10)
+	sel := fp(t, db, "costly100", query.ColRef{Table: "t3", Col: "u20"})
+	mk := func() *query.Query {
+		return mkQuery(t, db, []string{"t3", "t10", "t1"}, []*query.Predicate{
+			jp("t3", "ua1", "t10", "ua1"),
+			jp("t10", "ua1", "t1", "ua1"),
+			sel,
+		})
+	}
+	mg, _ := planWith(t, db, Migration, mk())
+	pr, _ := planWith(t, db, PullRank, mk())
+	ex, _ := planWith(t, db, Exhaustive, mk())
+	if mg.Cost() > pr.Cost()*1.0001 {
+		t.Fatalf("Migration (%v) must not lose to PullRank (%v)\nmigration:\n%s\npullrank:\n%s",
+			mg.Cost(), pr.Cost(), plan.Render(mg), plan.Render(pr))
+	}
+	if mg.Cost() > ex.Cost()*1.05 {
+		t.Fatalf("Migration (%v) should be near the exhaustive optimum (%v)", mg.Cost(), ex.Cost())
+	}
+}
+
+func TestPullRankOptimalSingleJoin(t *testing.T) {
+	// PullRank is optimal for queries with one join (§4.3): must match the
+	// exhaustive oracle on two-table queries with expensive selections on
+	// both sides.
+	db := benchDB(t, 3, 10)
+	cases := [][]*query.Predicate{
+		{jp("t3", "ua1", "t10", "ua1"), fp(t, db, "costly100", query.ColRef{Table: "t10", Col: "u20"})},
+		{jp("t3", "ua1", "t10", "ua1"),
+			fp(t, db, "costly10", query.ColRef{Table: "t3", Col: "u10"}),
+			fp(t, db, "costly100", query.ColRef{Table: "t10", Col: "u20"})},
+		{jp("t3", "a10", "t10", "a10"), fp(t, db, "costly1", query.ColRef{Table: "t3", Col: "u20"})},
+		{jp("t3", "a1", "t10", "a1"), fp(t, db, "costly1000", query.ColRef{Table: "t3", Col: "ua1"})},
+	}
+	for ci, preds := range cases {
+		mk := func() *query.Query { return mkQuery(t, db, []string{"t3", "t10"}, clonePreds(preds)) }
+		pr, _ := planWith(t, db, PullRank, mk())
+		ex, _ := planWith(t, db, Exhaustive, mk())
+		if pr.Cost() > ex.Cost()*1.02 {
+			t.Fatalf("case %d: PullRank (%v) not optimal (exhaustive %v)\n%s\nvs\n%s",
+				ci, pr.Cost(), ex.Cost(), plan.Render(pr), plan.Render(ex))
+		}
+	}
+}
+
+// clonePreds deep-copies predicates so each mkQuery gets fresh IDs.
+func clonePreds(ps []*query.Predicate) []*query.Predicate {
+	out := make([]*query.Predicate, len(ps))
+	for i, p := range ps {
+		c := *p
+		out[i] = &c
+	}
+	return out
+}
+
+func TestExhaustiveNeverLoses(t *testing.T) {
+	db := benchDB(t, 1, 3, 10)
+	mk := func() *query.Query {
+		return mkQuery(t, db, []string{"t3", "t10", "t1"}, []*query.Predicate{
+			jp("t3", "ua1", "t10", "ua1"),
+			jp("t10", "ua1", "t1", "ua1"),
+			fp(t, db, "costly100", query.ColRef{Table: "t3", Col: "u20"}),
+			fp(t, db, "costly1", query.ColRef{Table: "t10", Col: "u100"}),
+		})
+	}
+	ex, _ := planWith(t, db, Exhaustive, mk())
+	for _, algo := range []Algorithm{NaivePushDown, PushDown, PullUp, PullRank, Migration, LDL} {
+		root, _ := planWith(t, db, algo, mk())
+		if ex.Cost() > root.Cost()*1.0001 {
+			t.Fatalf("Exhaustive (%v) lost to %v (%v)", ex.Cost(), algo, root.Cost())
+		}
+	}
+}
+
+func TestMigrationNeverLosesToPullRankOrPushDown(t *testing.T) {
+	// The paper debugged its optimizer by checking exactly this invariant
+	// (§5: "Predicate Migration always did at least as well as the
+	// heuristics").
+	db := benchDB(t, 1, 3, 9, 10)
+	queries := []func() *query.Query{
+		func() *query.Query {
+			return mkQuery(t, db, []string{"t3", "t10"}, []*query.Predicate{
+				jp("t3", "ua1", "t10", "ua1"),
+				fp(t, db, "costly100", query.ColRef{Table: "t10", Col: "u20"}),
+			})
+		},
+		func() *query.Query {
+			return mkQuery(t, db, []string{"t9", "t10"}, []*query.Predicate{
+				jp("t9", "ua1", "t10", "ua1"),
+				fp(t, db, "costly100", query.ColRef{Table: "t10", Col: "u20"}),
+			})
+		},
+		func() *query.Query {
+			return mkQuery(t, db, []string{"t3", "t10", "t1"}, []*query.Predicate{
+				jp("t3", "ua1", "t10", "ua1"),
+				jp("t10", "ua1", "t1", "ua1"),
+				fp(t, db, "costly100", query.ColRef{Table: "t3", Col: "u20"}),
+			})
+		},
+		func() *query.Query {
+			return mkQuery(t, db, []string{"t3", "t9", "t10"}, []*query.Predicate{
+				jp("t3", "ua1", "t10", "ua1"),
+				jp("t9", "a10", "t10", "a10"),
+				fp(t, db, "costly10", query.ColRef{Table: "t9", Col: "u10"}),
+				fp(t, db, "costly1000", query.ColRef{Table: "t3", Col: "u20"}),
+			})
+		},
+	}
+	for qi, mk := range queries {
+		mg, _ := planWith(t, db, Migration, mk())
+		for _, algo := range []Algorithm{PushDown, PullRank, PullUp} {
+			other, _ := planWith(t, db, algo, mk())
+			if mg.Cost() > other.Cost()*1.0001 {
+				t.Fatalf("query %d: Migration (%v) lost to %v (%v)\nmigration:\n%s\nother:\n%s",
+					qi, mg.Cost(), algo, other.Cost(), plan.Render(mg), plan.Render(other))
+			}
+		}
+	}
+}
+
+func TestLDLForcedPullupFromInner(t *testing.T) {
+	// §3.1: LDL cannot evaluate an expensive selection below a join when its
+	// table is the join's inner. With the selection on the bigger table
+	// (which the optimal order makes the inner), LDL must either pull it up
+	// or flip the join order — either way every LDL plan keeps the
+	// selection's filter with no join below it only if its table is the
+	// outer base.
+	db := benchDB(t, 3, 10)
+	sel := fp(t, db, "costly1", query.ColRef{Table: "t10", Col: "ua1"})
+	q := mkQuery(t, db, []string{"t3", "t10"}, []*query.Predicate{
+		jp("t3", "a10", "t10", "a10"), sel,
+	})
+	root, _ := planWith(t, db, LDL, q)
+	f, err := Flatten(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The selection may sit at scan level only when t10 is the base table.
+	for _, s := range f.Steps {
+		for _, p := range s.InnerFilters {
+			if p == sel {
+				t.Fatalf("LDL placed an expensive selection below a join inner:\n%s", plan.Render(root))
+			}
+		}
+	}
+}
+
+func TestInfoDiagnostics(t *testing.T) {
+	db := benchDB(t, 1, 3, 10)
+	q := mkQuery(t, db, []string{"t3", "t10", "t1"}, []*query.Predicate{
+		jp("t3", "ua1", "t10", "ua1"),
+		jp("t10", "ua1", "t1", "ua1"),
+		fp(t, db, "costly100", query.ColRef{Table: "t3", Col: "u20"}),
+	})
+	root, info := planWith(t, db, Migration, q)
+	if info.PlansRetained == 0 {
+		t.Fatal("PlansRetained not counted")
+	}
+	if info.EstCost != root.Cost() || info.EstCost <= 0 {
+		t.Fatal("EstCost wrong")
+	}
+	if info.Elapsed <= 0 {
+		t.Fatal("Elapsed not measured")
+	}
+	if info.Algorithm != Migration {
+		t.Fatal("Algorithm not recorded")
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	for _, a := range Algorithms() {
+		if a.String() == "" || a.String()[0] == 'A' && a != NaivePushDown {
+			t.Fatalf("Algorithm %d has bad name %q", a, a.String())
+		}
+	}
+	if Algorithm(99).String() != "Algorithm(99)" {
+		t.Fatal("unknown algorithm name")
+	}
+}
+
+func TestCrossProductWhenDisconnected(t *testing.T) {
+	db := benchDB(t, 1, 3)
+	q := mkQuery(t, db, []string{"t1", "t3"}, nil) // no predicates at all
+	t1, _ := db.Cat.Table("t1")
+	t3, _ := db.Cat.Table("t3")
+	root, _ := planWith(t, db, PushDown, q)
+	if math.Abs(root.Card()-float64(t1.Card*t3.Card)) > 1 {
+		t.Fatalf("cross product card = %v, want %d", root.Card(), t1.Card*t3.Card)
+	}
+}
+
+func TestHyperEdgeFunctionPredicate(t *testing.T) {
+	// A three-table expensive predicate acts as a hyper-edge join predicate:
+	// it can only be applied once all three tables are joined, and may serve
+	// as a nested-loop primary for the last table in.
+	db := benchDB(t, 1, 2, 3)
+	f := expr.NewCostly("tri", 3, 20, 0.3, 7)
+	if err := db.Cat.RegisterFunc(f); err != nil {
+		t.Fatal(err)
+	}
+	mk := func() *query.Query {
+		return mkQuery(t, db, []string{"t1", "t2", "t3"}, []*query.Predicate{
+			jp("t1", "ua1", "t2", "ua1"),
+			jp("t2", "ua1", "t3", "ua1"),
+			{Kind: query.KindFunc, Func: f, Args: []query.ColRef{
+				{Table: "t1", Col: "u10"}, {Table: "t2", Col: "u10"}, {Table: "t3", Col: "u10"},
+			}},
+		})
+	}
+	for _, algo := range []Algorithm{PushDown, PullUp, PullRank, Migration, Exhaustive} {
+		root, _ := planWith(t, db, algo, mk())
+		// The hyper predicate must appear exactly once, above all joins or
+		// as an expensive NL primary.
+		applied := 0
+		var walk func(n plan.Node)
+		walk = func(n plan.Node) {
+			switch x := n.(type) {
+			case *plan.Filter:
+				if x.Pred.Func == f {
+					applied++
+				}
+			case *plan.Join:
+				if x.Primary != nil && x.Primary.Func == f {
+					applied++
+				}
+			}
+			for _, c := range n.Children() {
+				walk(c)
+			}
+		}
+		walk(root)
+		if applied != 1 {
+			t.Fatalf("%v: hyper predicate applied %d times:\n%s", algo, applied, plan.Render(root))
+		}
+	}
+}
+
+func TestSecondaryExpensiveJoinPredicate(t *testing.T) {
+	// Two predicates connect the same pair: the cheap equality becomes the
+	// primary, the expensive function rides as a secondary that must stay
+	// above the join in every algorithm.
+	db := benchDB(t, 3, 10)
+	mk := func() *query.Query {
+		return mkQuery(t, db, []string{"t3", "t10"}, []*query.Predicate{
+			jp("t3", "ua1", "t10", "ua1"),
+			fp(t, db, "costly10join",
+				query.ColRef{Table: "t3", Col: "u20"}, query.ColRef{Table: "t10", Col: "u20"}),
+		})
+	}
+	for _, algo := range []Algorithm{PushDown, Migration, Exhaustive} {
+		root, _ := planWith(t, db, algo, mk())
+		f, err := Flatten(root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range f.BaseFilters {
+			if p.IsJoin() {
+				t.Fatalf("%v: join predicate sank below the join:\n%s", algo, plan.Render(root))
+			}
+		}
+		for _, s := range f.Steps {
+			for _, p := range s.InnerFilters {
+				if p.IsJoin() {
+					t.Fatalf("%v: join predicate on inner side:\n%s", algo, plan.Render(root))
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,158 @@
+// Package pcache implements Montage-style predicate caching (paper §5.1):
+// each expensive predicate owns a main-memory dynamic hash table keyed on
+// the binding of its input variables, storing the result of the *entire
+// predicate* — true, false, or NULL — never the raw function result (whose
+// type may be an arbitrarily large derived object, e.g. a subquery's set).
+package pcache
+
+import (
+	"fmt"
+	"sync"
+
+	"predplace/internal/expr"
+)
+
+// Scope selects the caching granularity of §5.1: Montage caches the result
+// of the *whole predicate* per binding (ByPredicate, the default); the
+// alternative proposed in [Jhi88] and [HS93a] caches per *function*, which
+// shares entries between predicates that call the same function.
+type Scope uint8
+
+// Caching scopes.
+const (
+	ByPredicate Scope = iota
+	ByFunction
+)
+
+// Manager holds one cache per predicate (or per function, depending on
+// Scope) for the duration of a query. Caches are dropped between queries,
+// exactly like the per-query hash tables in Montage.
+type Manager struct {
+	mu sync.Mutex
+	// Enabled gates all caching; a disabled manager misses on every lookup.
+	enabled bool
+	scope   Scope
+	// maxEntries bounds each predicate's table (0 = unbounded); when full,
+	// an arbitrary entry is evicted (the paper notes any of a variety of
+	// replacement schemes may be used).
+	maxEntries int
+	caches     map[string]*cache
+	hits       int64
+	misses     int64
+}
+
+type cache struct {
+	m map[string]expr.Value
+}
+
+// NewManager creates a predicate-scoped cache manager. maxEntriesPerPred of
+// 0 means unbounded tables.
+func NewManager(enabled bool, maxEntriesPerPred int) *Manager {
+	return NewManagerScoped(enabled, maxEntriesPerPred, ByPredicate)
+}
+
+// NewManagerScoped creates a cache manager with an explicit scope.
+func NewManagerScoped(enabled bool, maxEntriesPerPred int, scope Scope) *Manager {
+	return &Manager{
+		enabled:    enabled,
+		scope:      scope,
+		maxEntries: maxEntriesPerPred,
+		caches:     make(map[string]*cache),
+	}
+}
+
+// Scope returns the manager's caching granularity.
+func (m *Manager) Scope() Scope {
+	if m == nil {
+		return ByPredicate
+	}
+	return m.scope
+}
+
+// Owner computes the cache-table identifier for a predicate: its ID under
+// ByPredicate, its function's name under ByFunction.
+func (m *Manager) Owner(predID int, funcName string) string {
+	if m.Scope() == ByFunction {
+		return "f:" + funcName
+	}
+	return fmt.Sprintf("p:%d", predID)
+}
+
+// Enabled reports whether caching is on.
+func (m *Manager) Enabled() bool { return m != nil && m.enabled }
+
+// Key encodes an argument binding into a cache key.
+func Key(args []expr.Value) string {
+	var buf []byte
+	for _, a := range args {
+		buf = a.AppendKey(buf)
+	}
+	return string(buf)
+}
+
+// Lookup returns the cached tri-state result of the owner's table on the
+// given binding (owner comes from Owner).
+func (m *Manager) Lookup(owner string, key string) (expr.Value, bool) {
+	if !m.Enabled() {
+		return expr.Null, false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.caches[owner]
+	if !ok {
+		m.misses++
+		return expr.Null, false
+	}
+	v, ok := c.m[key]
+	if ok {
+		m.hits++
+	} else {
+		m.misses++
+	}
+	return v, ok
+}
+
+// Store records the predicate's result for a binding.
+func (m *Manager) Store(owner string, key string, v expr.Value) {
+	if !m.Enabled() {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.caches[owner]
+	if !ok {
+		c = &cache{m: make(map[string]expr.Value)}
+		m.caches[owner] = c
+	}
+	if m.maxEntries > 0 && len(c.m) >= m.maxEntries {
+		for k := range c.m { // evict an arbitrary victim
+			delete(c.m, k)
+			break
+		}
+	}
+	c.m[key] = v
+}
+
+// Stats returns (hits, misses, totalEntries).
+func (m *Manager) Stats() (hits, misses int64, entries int) {
+	if m == nil {
+		return 0, 0, 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, c := range m.caches {
+		entries += len(c.m)
+	}
+	return m.hits, m.misses, entries
+}
+
+// Reset clears all cached entries and counters (between queries).
+func (m *Manager) Reset() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.caches = make(map[string]*cache)
+	m.hits, m.misses = 0, 0
+}

@@ -1,0 +1,182 @@
+// Package shell implements the interactive SQL shell logic behind cmd/ppsql:
+// meta-command dispatch, result formatting, and session state (current
+// algorithm, caching toggle). It is separated from the binary so the REPL
+// behaviour is testable.
+package shell
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"predplace"
+)
+
+// AlgoNames maps shell names to algorithms.
+var AlgoNames = map[string]predplace.Algorithm{
+	"naive":      predplace.NaivePushDown,
+	"pushdown":   predplace.PushDown,
+	"pullup":     predplace.PullUp,
+	"pullrank":   predplace.PullRank,
+	"migration":  predplace.Migration,
+	"ldl":        predplace.LDL,
+	"ldl-ikkbz":  predplace.LDLIKKBZ,
+	"exhaustive": predplace.Exhaustive,
+}
+
+// Session is one interactive shell session over a database.
+type Session struct {
+	DB *predplace.DB
+	// Algo is the current placement algorithm (default Migration).
+	Algo predplace.Algorithm
+	// MaxRows caps printed rows per result (default 20).
+	MaxRows int
+}
+
+// New creates a session with defaults.
+func New(db *predplace.DB) *Session {
+	return &Session{DB: db, Algo: predplace.Migration, MaxRows: 20}
+}
+
+// Execute handles one input line, writing output to w. It returns false when
+// the session should end.
+func (s *Session) Execute(line string, w io.Writer) bool {
+	line = strings.TrimSpace(line)
+	switch {
+	case line == "":
+		return true
+	case line == `\q` || line == "quit" || line == "exit":
+		return false
+	case strings.HasPrefix(line, `\algo`):
+		s.cmdAlgo(strings.TrimSpace(strings.TrimPrefix(line, `\algo`)), w)
+	case strings.HasPrefix(line, `\caching`) || strings.HasPrefix(line, `\cache`):
+		on := strings.HasSuffix(line, "on")
+		s.DB.SetCaching(on)
+		fmt.Fprintln(w, "predicate caching:", on)
+	case line == `\tables`:
+		s.cmdTables(w)
+	case strings.HasPrefix(line, `\save `):
+		path := strings.TrimSpace(strings.TrimPrefix(line, `\save `))
+		if err := s.DB.Save(path); err != nil {
+			fmt.Fprintln(w, "error:", err)
+		} else {
+			fmt.Fprintln(w, "saved to", path)
+		}
+	case strings.HasPrefix(line, `\open `):
+		path := strings.TrimSpace(strings.TrimPrefix(line, `\open `))
+		db, err := predplace.OpenFile(path, predplace.Config{})
+		if err != nil {
+			fmt.Fprintln(w, "error:", err)
+		} else {
+			s.DB = db
+			fmt.Fprintln(w, "opened", path)
+		}
+	case line == `\funcs`:
+		s.cmdFuncs(w)
+	case line == `\compare` || strings.HasPrefix(line, `\compare `):
+		fmt.Fprintln(w, `usage: \compare is implicit — prefix a query with COMPARE`)
+	case line == `\help` || line == `\?`:
+		s.cmdHelp(w)
+	case strings.HasPrefix(strings.ToUpper(line), "COMPARE "):
+		s.cmdCompare(strings.TrimSpace(line[len("COMPARE"):]), w)
+	case strings.HasPrefix(strings.ToUpper(line), "DELETE"):
+		n, err := s.DB.Exec(line)
+		if err != nil {
+			fmt.Fprintln(w, "error:", err)
+		} else {
+			fmt.Fprintf(w, "%d rows deleted\n", n)
+		}
+	default:
+		s.runSQL(line, w)
+	}
+	return true
+}
+
+func (s *Session) cmdHelp(w io.Writer) {
+	fmt.Fprint(w, `commands:
+  \algo <name>      switch placement algorithm
+  \caching on|off   toggle predicate caching
+  \tables           list relations
+  \funcs            list registered functions
+  \save <path>      snapshot the database to a file
+  \open <path>      load a database snapshot
+  \help             this help
+  \q                quit
+  EXPLAIN SELECT …  show the plan without running
+  COMPARE SELECT …  run under every algorithm and compare
+`)
+}
+
+func (s *Session) cmdAlgo(name string, w io.Writer) {
+	if a, ok := AlgoNames[name]; ok {
+		s.Algo = a
+		fmt.Fprintln(w, "algorithm:", a)
+		return
+	}
+	names := make([]string, 0, len(AlgoNames))
+	for n := range AlgoNames {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Fprintln(w, "algorithms:", strings.Join(names, " "))
+}
+
+func (s *Session) cmdTables(w io.Writer) {
+	for _, t := range s.DB.Catalog().Tables() {
+		idx := make([]string, 0, len(t.Indexes))
+		for col := range t.Indexes {
+			idx = append(idx, col)
+		}
+		sort.Strings(idx)
+		fmt.Fprintf(w, "  %-10s %10d tuples %8d pages  indexes: %s\n",
+			t.Name, t.Card, t.Pages(), strings.Join(idx, ","))
+	}
+}
+
+func (s *Session) cmdFuncs(w io.Writer) {
+	for _, f := range s.DB.Catalog().Funcs() {
+		fmt.Fprintf(w, "  %s\n", f)
+	}
+}
+
+func (s *Session) cmdCompare(sql string, w io.Writer) {
+	algos := predplace.Algorithms()
+	results, err := s.DB.CompareAll(sql, algos...)
+	if err != nil {
+		fmt.Fprintln(w, "error:", err)
+		return
+	}
+	fmt.Fprint(w, predplace.FormatComparison(algos, results))
+}
+
+func (s *Session) runSQL(sql string, w io.Writer) {
+	res, err := s.DB.Query(sql, s.Algo)
+	if err != nil {
+		fmt.Fprintln(w, "error:", err)
+		return
+	}
+	if res.Explained {
+		fmt.Fprint(w, res.Plan)
+		fmt.Fprintf(w, "estimated cost: %.0f (plans retained %d, planning %v)\n",
+			res.EstCost, res.Info.PlansRetained, res.Info.Elapsed)
+		return
+	}
+	if res.DNF {
+		fmt.Fprintln(w, "aborted: charged-cost budget exceeded")
+		return
+	}
+	fmt.Fprintln(w, strings.Join(res.Cols, " | "))
+	for i, row := range res.Rows {
+		if i == s.MaxRows {
+			fmt.Fprintf(w, "… (%d more rows)\n", len(res.Rows)-s.MaxRows)
+			break
+		}
+		cells := make([]string, len(row))
+		for k, v := range row {
+			cells[k] = v.String()
+		}
+		fmt.Fprintln(w, strings.Join(cells, " | "))
+	}
+	fmt.Fprintf(w, "%d rows; %s\n", res.Stats.Rows, res.Stats)
+}

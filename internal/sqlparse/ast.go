@@ -1,0 +1,106 @@
+package sqlparse
+
+import "fmt"
+
+// SelectStmt is a parsed SELECT query.
+type SelectStmt struct {
+	// Explain is set when the statement is prefixed with EXPLAIN.
+	Explain bool
+	// Analyze is set for EXPLAIN ANALYZE: execute the plan and annotate it
+	// with actual row counts.
+	Analyze bool
+	// Star is SELECT *.
+	Star bool
+	// Columns are the projected columns when not Star.
+	Columns []ColExpr
+	// Tables is the FROM list.
+	Tables []string
+	// Where is the AND-ed predicate list (may be empty).
+	Where []PredExpr
+	// CountStar is SELECT COUNT(*).
+	CountStar bool
+	// OrderBy names the sort column (zero value = none); Desc reverses.
+	OrderBy ColExpr
+	Desc    bool
+	// Limit caps the result rows (-1 = no limit).
+	Limit int64
+}
+
+// ColExpr names a column, optionally table-qualified.
+type ColExpr struct {
+	Table string // may be empty (resolved by the binder)
+	Col   string
+}
+
+// String renders the reference.
+func (c ColExpr) String() string {
+	if c.Table == "" {
+		return c.Col
+	}
+	return c.Table + "." + c.Col
+}
+
+// PredExpr is one conjunct of the WHERE clause.
+type PredExpr interface{ predNode() }
+
+// CmpPred is `operand op operand`.
+type CmpPred struct {
+	Op          string // = <> < <= > >=
+	Left, Right Operand
+}
+
+func (*CmpPred) predNode() {}
+
+// FuncPred is `fname(args…)` used as a boolean predicate.
+type FuncPred struct {
+	Name string
+	Args []Operand
+}
+
+func (*FuncPred) predNode() {}
+
+// InPred is `col [NOT] IN (SELECT …)`.
+type InPred struct {
+	Left ColExpr
+	Not  bool
+	Sub  *SelectStmt
+}
+
+func (*InPred) predNode() {}
+
+// Operand is a column reference or a literal.
+type Operand struct {
+	IsCol bool
+	Col   ColExpr
+	// literal
+	IsString bool
+	Str      string
+	IsNull   bool
+	Int      int64
+	IsBool   bool
+	Bool     bool
+}
+
+// String renders the operand.
+func (o Operand) String() string {
+	switch {
+	case o.IsCol:
+		return o.Col.String()
+	case o.IsString:
+		return "'" + o.Str + "'"
+	case o.IsNull:
+		return "NULL"
+	case o.IsBool:
+		return fmt.Sprintf("%v", o.Bool)
+	default:
+		return fmt.Sprintf("%d", o.Int)
+	}
+}
+
+// DeleteStmt is a parsed DELETE statement.
+type DeleteStmt struct {
+	// Table is the target relation.
+	Table string
+	// Where is the AND-ed predicate list (empty deletes every row).
+	Where []PredExpr
+}

@@ -1,0 +1,124 @@
+// Package sqlparse implements the SQL front-end for the conjunctive
+// SELECT–FROM–WHERE subset the paper's example queries use: multi-table FROM
+// lists, AND-ed comparison predicates, user-defined boolean function
+// predicates (the expensive predicates), and correlated IN-subqueries (the
+// System R-era form of expensive selections, §1.1 and §5.1).
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies lexer tokens.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol  // one of ( ) , ; . = < > <= >= <> *
+	tokKeyword // upper-cased SQL keyword
+)
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "AND": true,
+	"IN": true, "NOT": true, "TRUE": true, "FALSE": true, "NULL": true,
+	"EXPLAIN": true, "ANALYZE": true,
+	"ORDER": true, "BY": true, "LIMIT": true, "DESC": true, "ASC": true, "COUNT": true,
+	"DELETE": true,
+}
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// lex tokenizes SQL text.
+func lex(src string) ([]token, error) {
+	var out []token
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && src[i+1] == '-': // comment to end of line
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case unicode.IsLetter(rune(c)) || c == '_':
+			start := i
+			for i < n && (unicode.IsLetter(rune(src[i])) || unicode.IsDigit(rune(src[i])) || src[i] == '_') {
+				i++
+			}
+			word := src[start:i]
+			upper := strings.ToUpper(word)
+			if keywords[upper] {
+				out = append(out, token{kind: tokKeyword, text: upper, pos: start})
+			} else {
+				out = append(out, token{kind: tokIdent, text: word, pos: start})
+			}
+		case unicode.IsDigit(rune(c)) || (c == '-' && i+1 < n && unicode.IsDigit(rune(src[i+1]))):
+			start := i
+			i++
+			for i < n && unicode.IsDigit(rune(src[i])) {
+				i++
+			}
+			out = append(out, token{kind: tokNumber, text: src[start:i], pos: start})
+		case c == '\'':
+			start := i
+			i++
+			for i < n && src[i] != '\'' {
+				i++
+			}
+			if i >= n {
+				return nil, fmt.Errorf("sqlparse: unterminated string at offset %d", start)
+			}
+			out = append(out, token{kind: tokString, text: src[start+1 : i], pos: start})
+			i++
+		case c == '<':
+			if i+1 < n && (src[i+1] == '=' || src[i+1] == '>') {
+				out = append(out, token{kind: tokSymbol, text: src[i : i+2], pos: i})
+				i += 2
+			} else {
+				out = append(out, token{kind: tokSymbol, text: "<", pos: i})
+				i++
+			}
+		case c == '>':
+			if i+1 < n && src[i+1] == '=' {
+				out = append(out, token{kind: tokSymbol, text: ">=", pos: i})
+				i += 2
+			} else {
+				out = append(out, token{kind: tokSymbol, text: ">", pos: i})
+				i++
+			}
+		case strings.ContainsRune("(),;.=*!", rune(c)):
+			if c == '!' {
+				if i+1 < n && src[i+1] == '=' {
+					out = append(out, token{kind: tokSymbol, text: "<>", pos: i})
+					i += 2
+					continue
+				}
+				return nil, fmt.Errorf("sqlparse: unexpected '!' at offset %d", i)
+			}
+			out = append(out, token{kind: tokSymbol, text: string(c), pos: i})
+			i++
+		default:
+			return nil, fmt.Errorf("sqlparse: unexpected character %q at offset %d", c, i)
+		}
+	}
+	out = append(out, token{kind: tokEOF, pos: n})
+	return out, nil
+}

@@ -1,0 +1,339 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parse parses one SELECT statement.
+func Parse(src string) (*SelectStmt, error) {
+	stmt, err := ParseAny(src)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("sqlparse: expected a SELECT statement")
+	}
+	return sel, nil
+}
+
+// ParseAny parses one statement: a *SelectStmt or a *DeleteStmt.
+func ParseAny(src string) (interface{}, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var stmt interface{}
+	if p.peek().kind == tokKeyword && p.peek().text == "DELETE" {
+		stmt, err = p.deleteStmt()
+	} else {
+		stmt, err = p.selectStmt()
+	}
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind == tokSymbol && p.peek().text == ";" {
+		p.next()
+	}
+	if p.peek().kind != tokEOF {
+		return nil, fmt.Errorf("sqlparse: trailing input at %s", p.peek())
+	}
+	return stmt, nil
+}
+
+// deleteStmt parses DELETE FROM table [WHERE conj].
+func (p *parser) deleteStmt() (*DeleteStmt, error) {
+	if err := p.expectKeyword("DELETE"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	t := p.next()
+	if t.kind != tokIdent {
+		return nil, fmt.Errorf("sqlparse: expected table name, got %s", t)
+	}
+	stmt := &DeleteStmt{Table: t.text}
+	if p.peek().kind == tokKeyword && p.peek().text == "WHERE" {
+		p.next()
+		for {
+			pred, err := p.pred()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Where = append(stmt.Where, pred)
+			if p.peek().kind == tokKeyword && p.peek().text == "AND" {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.next()
+	if t.kind != tokKeyword || t.text != kw {
+		return fmt.Errorf("sqlparse: expected %s, got %s", kw, t)
+	}
+	return nil
+}
+
+func (p *parser) expectSymbol(s string) error {
+	t := p.next()
+	if t.kind != tokSymbol || t.text != s {
+		return fmt.Errorf("sqlparse: expected %q, got %s", s, t)
+	}
+	return nil
+}
+
+func (p *parser) selectStmt() (*SelectStmt, error) {
+	stmt := &SelectStmt{Limit: -1}
+	if p.peek().kind == tokKeyword && p.peek().text == "EXPLAIN" {
+		p.next()
+		stmt.Explain = true
+		if p.peek().kind == tokKeyword && p.peek().text == "ANALYZE" {
+			p.next()
+			stmt.Analyze = true
+		}
+	}
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	if p.peek().kind == tokSymbol && p.peek().text == "*" {
+		p.next()
+		stmt.Star = true
+	} else if p.peek().kind == tokKeyword && p.peek().text == "COUNT" {
+		p.next()
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol("*"); err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		stmt.CountStar = true
+	} else {
+		for {
+			c, err := p.colExpr()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Columns = append(stmt.Columns, c)
+			if p.peek().kind == tokSymbol && p.peek().text == "," {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		t := p.next()
+		if t.kind != tokIdent {
+			return nil, fmt.Errorf("sqlparse: expected table name, got %s", t)
+		}
+		stmt.Tables = append(stmt.Tables, t.text)
+		if p.peek().kind == tokSymbol && p.peek().text == "," {
+			p.next()
+			continue
+		}
+		break
+	}
+	if p.peek().kind == tokKeyword && p.peek().text == "WHERE" {
+		p.next()
+		for {
+			pred, err := p.pred()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Where = append(stmt.Where, pred)
+			if p.peek().kind == tokKeyword && p.peek().text == "AND" {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+	if p.peek().kind == tokKeyword && p.peek().text == "ORDER" {
+		p.next()
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		c, err := p.colExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.OrderBy = c
+		if p.peek().kind == tokKeyword && (p.peek().text == "DESC" || p.peek().text == "ASC") {
+			stmt.Desc = p.next().text == "DESC"
+		}
+	}
+	if p.peek().kind == tokKeyword && p.peek().text == "LIMIT" {
+		p.next()
+		t := p.next()
+		if t.kind != tokNumber {
+			return nil, fmt.Errorf("sqlparse: LIMIT needs a number, got %s", t)
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("sqlparse: bad LIMIT %q", t.text)
+		}
+		stmt.Limit = n
+	}
+	return stmt, nil
+}
+
+// colExpr parses ident[.ident].
+func (p *parser) colExpr() (ColExpr, error) {
+	t := p.next()
+	if t.kind != tokIdent {
+		return ColExpr{}, fmt.Errorf("sqlparse: expected column, got %s", t)
+	}
+	if p.peek().kind == tokSymbol && p.peek().text == "." {
+		p.next()
+		c := p.next()
+		if c.kind != tokIdent {
+			return ColExpr{}, fmt.Errorf("sqlparse: expected column after '.', got %s", c)
+		}
+		return ColExpr{Table: t.text, Col: c.text}, nil
+	}
+	return ColExpr{Col: t.text}, nil
+}
+
+// pred parses one conjunct.
+func (p *parser) pred() (PredExpr, error) {
+	// Function predicate: ident '(' …
+	if p.peek().kind == tokIdent && p.pos+1 < len(p.toks) &&
+		p.toks[p.pos+1].kind == tokSymbol && p.toks[p.pos+1].text == "(" {
+		name := p.next().text
+		p.next() // (
+		var args []Operand
+		if !(p.peek().kind == tokSymbol && p.peek().text == ")") {
+			for {
+				op, err := p.operand()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, op)
+				if p.peek().kind == tokSymbol && p.peek().text == "," {
+					p.next()
+					continue
+				}
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		// Optional `= literal` comparison after the call is not supported;
+		// the call itself is the boolean predicate.
+		return &FuncPred{Name: name, Args: args}, nil
+	}
+
+	left, err := p.operand()
+	if err != nil {
+		return nil, err
+	}
+
+	// IN-subquery.
+	if p.peek().kind == tokKeyword && (p.peek().text == "IN" || p.peek().text == "NOT") {
+		not := false
+		if p.peek().text == "NOT" {
+			p.next()
+			not = true
+			if err := p.expectKeyword("IN"); err != nil {
+				return nil, err
+			}
+		} else {
+			p.next()
+		}
+		if !left.IsCol {
+			return nil, fmt.Errorf("sqlparse: IN requires a column on the left")
+		}
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		sub, err := p.selectStmt()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return &InPred{Left: left.Col, Not: not, Sub: sub}, nil
+	}
+
+	t := p.next()
+	if t.kind != tokSymbol {
+		return nil, fmt.Errorf("sqlparse: expected comparison operator, got %s", t)
+	}
+	switch t.text {
+	case "=", "<>", "<", "<=", ">", ">=":
+	default:
+		return nil, fmt.Errorf("sqlparse: bad operator %q", t.text)
+	}
+	right, err := p.operand()
+	if err != nil {
+		return nil, err
+	}
+	return &CmpPred{Op: t.text, Left: left, Right: right}, nil
+}
+
+// operand parses a column reference or literal.
+func (p *parser) operand() (Operand, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokNumber:
+		p.next()
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return Operand{}, fmt.Errorf("sqlparse: bad number %q", t.text)
+		}
+		return Operand{Int: v}, nil
+	case tokString:
+		p.next()
+		return Operand{IsString: true, Str: t.text}, nil
+	case tokKeyword:
+		switch t.text {
+		case "NULL":
+			p.next()
+			return Operand{IsNull: true}, nil
+		case "TRUE":
+			p.next()
+			return Operand{IsBool: true, Bool: true}, nil
+		case "FALSE":
+			p.next()
+			return Operand{IsBool: true, Bool: false}, nil
+		}
+		return Operand{}, fmt.Errorf("sqlparse: unexpected keyword %s", t)
+	case tokIdent:
+		c, err := p.colExpr()
+		if err != nil {
+			return Operand{}, err
+		}
+		return Operand{IsCol: true, Col: c}, nil
+	}
+	return Operand{}, fmt.Errorf("sqlparse: unexpected token %s", t)
+}

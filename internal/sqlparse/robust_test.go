@@ -1,0 +1,129 @@
+package sqlparse
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestParserNeverPanics feeds mutated fragments of valid SQL to the parser:
+// it may reject them, but it must never panic or hang.
+func TestParserNeverPanics(t *testing.T) {
+	seeds := []string{
+		"SELECT * FROM t3, t10 WHERE t3.ua1 = t10.ua1 AND costly100(t10.u20)",
+		"EXPLAIN SELECT a, b FROM r WHERE a < 5 AND f(x, y) AND s = 'lit'",
+		"SELECT name FROM student WHERE student.mother IN (SELECT name FROM professor WHERE professor.dept = student.dept)",
+		"SELECT * FROM r WHERE x NOT IN (SELECT y FROM s WHERE z >= -42)",
+	}
+	alphabet := []byte("abcSELT*,.()<>='; \n\t0123NULq")
+	rng := rand.New(rand.NewSource(1994))
+	for _, seed := range seeds {
+		for trial := 0; trial < 400; trial++ {
+			b := []byte(seed)
+			for m := 1 + rng.Intn(4); m > 0; m-- {
+				switch rng.Intn(3) {
+				case 0: // mutate a byte
+					b[rng.Intn(len(b))] = alphabet[rng.Intn(len(alphabet))]
+				case 1: // delete a span
+					i := rng.Intn(len(b))
+					j := i + 1 + rng.Intn(5)
+					if j > len(b) {
+						j = len(b)
+					}
+					b = append(b[:i], b[j:]...)
+				case 2: // duplicate a span
+					i := rng.Intn(len(b))
+					j := i + 1 + rng.Intn(8)
+					if j > len(b) {
+						j = len(b)
+					}
+					b = append(b[:j], append(append([]byte{}, b[i:j]...), b[j:]...)...)
+				}
+				if len(b) == 0 {
+					b = []byte("S")
+				}
+			}
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("parser panicked on %q: %v", b, r)
+					}
+				}()
+				_, _ = Parse(string(b))
+			}()
+		}
+	}
+}
+
+// TestParseRoundTripStability re-parses reconstructions of parsed queries:
+// tables, predicates, and projections survive a parse → render → parse loop.
+func TestParseRoundTripStability(t *testing.T) {
+	queries := []string{
+		"SELECT * FROM t3, t10 WHERE t3.ua1 = t10.ua1 AND costly100(t10.u20)",
+		"SELECT a, r.b FROM r WHERE a <= 5",
+		"SELECT * FROM x WHERE f(x.a, x.b) AND x.c <> 'q'",
+	}
+	for _, q := range queries {
+		s1, err := Parse(q)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", q, err)
+		}
+		rendered := renderStmt(s1)
+		s2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("re-Parse(%q): %v", rendered, err)
+		}
+		if renderStmt(s2) != rendered {
+			t.Fatalf("round-trip unstable:\n%q\nvs\n%q", rendered, renderStmt(s2))
+		}
+	}
+}
+
+// renderStmt regenerates SQL text from an AST (test helper).
+func renderStmt(s *SelectStmt) string {
+	var b strings.Builder
+	if s.Explain {
+		b.WriteString("EXPLAIN ")
+	}
+	b.WriteString("SELECT ")
+	if s.Star {
+		b.WriteString("*")
+	} else {
+		cols := make([]string, len(s.Columns))
+		for i, c := range s.Columns {
+			cols[i] = c.String()
+		}
+		b.WriteString(strings.Join(cols, ", "))
+	}
+	b.WriteString(" FROM ")
+	b.WriteString(strings.Join(s.Tables, ", "))
+	if len(s.Where) > 0 {
+		b.WriteString(" WHERE ")
+		parts := make([]string, len(s.Where))
+		for i, w := range s.Where {
+			parts[i] = renderPred(w)
+		}
+		b.WriteString(strings.Join(parts, " AND "))
+	}
+	return b.String()
+}
+
+func renderPred(w PredExpr) string {
+	switch p := w.(type) {
+	case *CmpPred:
+		return p.Left.String() + " " + p.Op + " " + p.Right.String()
+	case *FuncPred:
+		args := make([]string, len(p.Args))
+		for i, a := range p.Args {
+			args[i] = a.String()
+		}
+		return p.Name + "(" + strings.Join(args, ", ") + ")"
+	case *InPred:
+		not := ""
+		if p.Not {
+			not = "NOT "
+		}
+		return p.Left.String() + " " + not + "IN (" + renderStmt(p.Sub) + ")"
+	}
+	return "?"
+}

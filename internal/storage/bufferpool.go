@@ -1,0 +1,193 @@
+package storage
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// BufferPool caches disk pages with LRU replacement. Page fetches that hit
+// the pool cost nothing; misses incur a physical read (and a writeback if the
+// victim is dirty). Pin/Unpin follow the classic protocol: a pinned page is
+// never evicted.
+type BufferPool struct {
+	mu       sync.Mutex
+	disk     *Disk
+	capacity int
+	frames   map[frameKey]*frame
+	lru      *list.List // front = most recently used; holds *frame
+
+	hits   int64
+	misses int64
+}
+
+type frameKey struct {
+	file FileID
+	page PageID
+}
+
+type frame struct {
+	key   frameKey
+	pg    *Page
+	pins  int
+	dirty bool
+	elem  *list.Element
+}
+
+// NewBufferPool creates a pool of the given capacity (in pages) over disk.
+func NewBufferPool(disk *Disk, capacity int) *BufferPool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &BufferPool{
+		disk:     disk,
+		capacity: capacity,
+		frames:   make(map[frameKey]*frame, capacity),
+		lru:      list.New(),
+	}
+}
+
+// Capacity returns the pool size in pages.
+func (bp *BufferPool) Capacity() int { return bp.capacity }
+
+// HitRate returns (hits, misses) since creation or the last ResetCounters.
+func (bp *BufferPool) HitRate() (hits, misses int64) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return bp.hits, bp.misses
+}
+
+// ResetCounters zeroes the hit/miss counters (not the cached contents).
+func (bp *BufferPool) ResetCounters() {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	bp.hits, bp.misses = 0, 0
+}
+
+// Fetch pins page p of file f, reading it from disk on a miss.
+func (bp *BufferPool) Fetch(f FileID, p PageID) (*Page, error) {
+	bp.mu.Lock()
+	key := frameKey{f, p}
+	if fr, ok := bp.frames[key]; ok {
+		fr.pins++
+		bp.hits++
+		bp.lru.MoveToFront(fr.elem)
+		pg := fr.pg
+		bp.mu.Unlock()
+		return pg, nil
+	}
+	bp.misses++
+	if err := bp.evictLocked(); err != nil {
+		bp.mu.Unlock()
+		return nil, err
+	}
+	bp.mu.Unlock()
+
+	pg, err := bp.disk.ReadPage(f, p)
+	if err != nil {
+		return nil, err
+	}
+
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if fr, ok := bp.frames[key]; ok {
+		// Another goroutine loaded it while we read; join that frame.
+		fr.pins++
+		bp.lru.MoveToFront(fr.elem)
+		return fr.pg, nil
+	}
+	fr := &frame{key: key, pg: pg, pins: 1}
+	fr.elem = bp.lru.PushFront(fr)
+	bp.frames[key] = fr
+	return pg, nil
+}
+
+// evictLocked makes room for one more frame, writing back a dirty victim.
+func (bp *BufferPool) evictLocked() error {
+	for len(bp.frames) >= bp.capacity {
+		var victim *frame
+		for e := bp.lru.Back(); e != nil; e = e.Prev() {
+			fr := e.Value.(*frame)
+			if fr.pins == 0 {
+				victim = fr
+				break
+			}
+		}
+		if victim == nil {
+			return fmt.Errorf("storage: buffer pool exhausted (%d pages, all pinned)", bp.capacity)
+		}
+		if victim.dirty {
+			if err := bp.disk.WritePage(victim.key.file, victim.key.page); err != nil {
+				return err
+			}
+		}
+		bp.lru.Remove(victim.elem)
+		delete(bp.frames, victim.key)
+	}
+	return nil
+}
+
+// Unpin releases one pin on page p of file f; dirty marks the page modified.
+func (bp *BufferPool) Unpin(f FileID, p PageID, dirty bool) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	fr, ok := bp.frames[frameKey{f, p}]
+	if !ok || fr.pins == 0 {
+		return
+	}
+	fr.pins--
+	if dirty {
+		fr.dirty = true
+	}
+}
+
+// NewPage allocates a fresh page in file f, pins it, and returns it. The new
+// page is resident and dirty; it is written back on eviction or FlushAll.
+func (bp *BufferPool) NewPage(f FileID) (PageID, *Page, error) {
+	pid, err := bp.disk.AllocPage(f)
+	if err != nil {
+		return 0, nil, err
+	}
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if err := bp.evictLocked(); err != nil {
+		return 0, nil, err
+	}
+	// The freshly allocated page is already in the disk's array; register a
+	// frame for it directly without charging a read (it was never on disk).
+	key := frameKey{f, pid}
+	pg, _ := bp.disk.peek(f, pid)
+	fr := &frame{key: key, pg: pg, pins: 1, dirty: true}
+	fr.elem = bp.lru.PushFront(fr)
+	bp.frames[key] = fr
+	return pid, pg, nil
+}
+
+// FlushAll writes back every dirty frame and clears the pool.
+func (bp *BufferPool) FlushAll() error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	for key, fr := range bp.frames {
+		if fr.dirty {
+			if err := bp.disk.WritePage(key.file, key.page); err != nil {
+				return err
+			}
+			fr.dirty = false
+		}
+	}
+	bp.frames = make(map[frameKey]*frame, bp.capacity)
+	bp.lru.Init()
+	return nil
+}
+
+// peek returns the page without charging an I/O; used only by NewPage for
+// pages that were just allocated and have never been written to disk.
+func (d *Disk) peek(f FileID, p PageID) (*Page, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	pages, ok := d.files[f]
+	if !ok || int(p) >= len(pages) {
+		return nil, false
+	}
+	return pages[p], true
+}

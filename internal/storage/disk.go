@@ -1,0 +1,92 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Disk simulates a disk: a set of files, each an append-only array of pages.
+// All physical page traffic is recorded in the Accountant. The contents live
+// in memory (the module is self-contained and deterministic), but the access
+// discipline — page granularity, read-before-use, explicit writeback — is
+// that of a real disk manager, so I/O counts are faithful.
+type Disk struct {
+	mu    sync.Mutex
+	files map[FileID][]*Page
+	next  FileID
+	acct  *Accountant
+}
+
+// NewDisk creates an empty disk recording I/O into acct.
+func NewDisk(acct *Accountant) *Disk {
+	if acct == nil {
+		acct = &Accountant{}
+	}
+	return &Disk{files: make(map[FileID][]*Page), next: 1, acct: acct}
+}
+
+// Accountant returns the disk's I/O accountant.
+func (d *Disk) Accountant() *Accountant { return d.acct }
+
+// CreateFile allocates a new empty file and returns its id.
+func (d *Disk) CreateFile() FileID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	id := d.next
+	d.next++
+	d.files[id] = nil
+	return id
+}
+
+// NumPages returns the number of pages in file f.
+func (d *Disk) NumPages(f FileID) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.files[f])
+}
+
+// AllocPage appends a fresh page to file f and returns its page id.
+// Allocation itself is not charged as an I/O; the subsequent write is.
+func (d *Disk) AllocPage(f FileID) (PageID, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	pages, ok := d.files[f]
+	if !ok {
+		return 0, fmt.Errorf("storage: no such file %d", f)
+	}
+	d.files[f] = append(pages, NewPage())
+	return PageID(len(pages)), nil
+}
+
+// ReadPage fetches a copy-by-reference of page p of file f, recording the
+// physical read. Callers go through the buffer pool, which avoids re-reading
+// resident pages.
+func (d *Disk) ReadPage(f FileID, p PageID) (*Page, error) {
+	d.mu.Lock()
+	pages, ok := d.files[f]
+	var pg *Page
+	if ok && int(p) < len(pages) {
+		pg = pages[p]
+	}
+	d.mu.Unlock()
+	if pg == nil {
+		return nil, fmt.Errorf("storage: read beyond EOF: file %d page %d", f, p)
+	}
+	d.acct.RecordRead(f, p)
+	return pg, nil
+}
+
+// WritePage records a physical write of page p of file f. Because pages are
+// shared by reference with the buffer pool, the data is already current; only
+// the accounting and bounds check are performed.
+func (d *Disk) WritePage(f FileID, p PageID) error {
+	d.mu.Lock()
+	pages, ok := d.files[f]
+	bad := !ok || int(p) >= len(pages)
+	d.mu.Unlock()
+	if bad {
+		return fmt.Errorf("storage: write beyond EOF: file %d page %d", f, p)
+	}
+	d.acct.RecordWrite()
+	return nil
+}

@@ -1,0 +1,149 @@
+package storage
+
+import "fmt"
+
+// HeapFile stores records of one table in an unordered sequence of slotted
+// pages. Inserts fill the last page and allocate a new one when full (the
+// benchmark load is append-only, matching the paper's bulk-loaded database).
+type HeapFile struct {
+	bp   *BufferPool
+	file FileID
+}
+
+// NewHeapFile creates a heap file backed by a fresh disk file.
+func NewHeapFile(bp *BufferPool) *HeapFile {
+	return &HeapFile{bp: bp, file: bp.disk.CreateFile()}
+}
+
+// FileID returns the underlying disk file id.
+func (h *HeapFile) FileID() FileID { return h.file }
+
+// NumPages returns the current number of pages.
+func (h *HeapFile) NumPages() int { return h.bp.disk.NumPages(h.file) }
+
+// Insert appends rec and returns its TID.
+func (h *HeapFile) Insert(rec []byte) (TID, error) {
+	if len(rec) > PageSize-pageHeaderSize-slotSize {
+		return TID{}, fmt.Errorf("storage: record of %d bytes exceeds page capacity", len(rec))
+	}
+	n := h.NumPages()
+	if n > 0 {
+		last := PageID(n - 1)
+		pg, err := h.bp.Fetch(h.file, last)
+		if err != nil {
+			return TID{}, err
+		}
+		if pg.HasSpace(len(rec)) {
+			slot, err := pg.Insert(rec)
+			h.bp.Unpin(h.file, last, err == nil)
+			if err != nil {
+				return TID{}, err
+			}
+			return TID{Page: last, Slot: slot}, nil
+		}
+		h.bp.Unpin(h.file, last, false)
+	}
+	pid, pg, err := h.bp.NewPage(h.file)
+	if err != nil {
+		return TID{}, err
+	}
+	slot, err := pg.Insert(rec)
+	h.bp.Unpin(h.file, pid, err == nil)
+	if err != nil {
+		return TID{}, err
+	}
+	return TID{Page: pid, Slot: slot}, nil
+}
+
+// Get copies the record at tid into a fresh slice.
+func (h *HeapFile) Get(tid TID) ([]byte, error) {
+	pg, err := h.bp.Fetch(h.file, tid.Page)
+	if err != nil {
+		return nil, err
+	}
+	defer h.bp.Unpin(h.file, tid.Page, false)
+	rec, ok := pg.Get(tid.Slot)
+	if !ok {
+		return nil, fmt.Errorf("storage: no record at %s", tid)
+	}
+	out := make([]byte, len(rec))
+	copy(out, rec)
+	return out, nil
+}
+
+// Scan returns an iterator over all live records in file order.
+func (h *HeapFile) Scan() *HeapIter {
+	return &HeapIter{h: h, page: 0, slot: 0, n: h.NumPages()}
+}
+
+// HeapIter iterates a heap file page by page, slot by slot. It pins one page
+// at a time, producing sequential physical reads for cold scans.
+type HeapIter struct {
+	h       *HeapFile
+	page    PageID
+	slot    SlotID
+	n       int
+	cur     *Page
+	curPage PageID
+	done    bool
+}
+
+// Next returns the next live record and its TID, copying the record out of
+// page memory. ok=false means the scan is exhausted (or an error occurred;
+// see Err).
+func (it *HeapIter) Next() (rec []byte, tid TID, ok bool, err error) {
+	if it.done {
+		return nil, TID{}, false, nil
+	}
+	for {
+		if it.cur == nil {
+			if int(it.page) >= it.n {
+				it.done = true
+				return nil, TID{}, false, nil
+			}
+			pg, ferr := it.h.bp.Fetch(it.h.file, it.page)
+			if ferr != nil {
+				it.done = true
+				return nil, TID{}, false, ferr
+			}
+			it.cur, it.curPage, it.slot = pg, it.page, 0
+		}
+		for int(it.slot) < it.cur.NumSlots() {
+			rec, live := it.cur.Get(it.slot)
+			s := it.slot
+			it.slot++
+			if live {
+				out := make([]byte, len(rec))
+				copy(out, rec)
+				return out, TID{Page: it.curPage, Slot: s}, true, nil
+			}
+		}
+		it.h.bp.Unpin(it.h.file, it.curPage, false)
+		it.cur = nil
+		it.page++
+	}
+}
+
+// Close releases the iterator's pinned page, if any.
+func (it *HeapIter) Close() {
+	if it.cur != nil {
+		it.h.bp.Unpin(it.h.file, it.curPage, false)
+		it.cur = nil
+	}
+	it.done = true
+}
+
+// Delete marks the record at tid dead. Space is not compacted; scans skip
+// dead slots.
+func (h *HeapFile) Delete(tid TID) error {
+	pg, err := h.bp.Fetch(h.file, tid.Page)
+	if err != nil {
+		return err
+	}
+	ok := pg.Delete(tid.Slot)
+	h.bp.Unpin(h.file, tid.Page, ok)
+	if !ok {
+		return fmt.Errorf("storage: no record at %s", tid)
+	}
+	return nil
+}

@@ -1,0 +1,242 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func newTestPool(capacity int) (*Disk, *BufferPool) {
+	d := NewDisk(nil)
+	return d, NewBufferPool(d, capacity)
+}
+
+func TestHeapFileInsertGet(t *testing.T) {
+	_, bp := newTestPool(8)
+	h := NewHeapFile(bp)
+	var tids []TID
+	for i := 0; i < 1000; i++ {
+		rec := []byte(fmt.Sprintf("record-%04d-%s", i, "xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx"))
+		tid, err := h.Insert(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tids = append(tids, tid)
+	}
+	if h.NumPages() < 2 {
+		t.Fatalf("expected multiple pages, got %d", h.NumPages())
+	}
+	for i, tid := range tids {
+		want := []byte(fmt.Sprintf("record-%04d-%s", i, "xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx"))
+		got, err := h.Get(tid)
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("Get(%v) = %q, %v", tid, got, err)
+		}
+	}
+}
+
+func TestHeapFileScanOrderAndCompleteness(t *testing.T) {
+	_, bp := newTestPool(4)
+	h := NewHeapFile(bp)
+	const n = 500
+	for i := 0; i < n; i++ {
+		if _, err := h.Insert([]byte(fmt.Sprintf("%06d-padpadpadpadpadpadpadpad", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	it := h.Scan()
+	defer it.Close()
+	i := 0
+	for {
+		rec, _, ok, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		want := fmt.Sprintf("%06d-padpadpadpadpadpadpadpad", i)
+		if string(rec) != want {
+			t.Fatalf("scan[%d] = %q, want %q", i, rec, want)
+		}
+		i++
+	}
+	if i != n {
+		t.Fatalf("scanned %d records, want %d", i, n)
+	}
+	// Next after exhaustion stays exhausted.
+	if _, _, ok, _ := it.Next(); ok {
+		t.Fatal("iterator should stay exhausted")
+	}
+}
+
+func TestHeapFileScanIsMostlySequential(t *testing.T) {
+	d, bp := newTestPool(2) // tiny pool: cold scan
+	h := NewHeapFile(bp)
+	rec := make([]byte, 100)
+	for i := 0; i < 2000; i++ {
+		if _, err := h.Insert(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.Accountant().Reset()
+	bp.FlushAll()
+	d.Accountant().Reset()
+	it := h.Scan()
+	for {
+		_, _, ok, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+	}
+	it.Close()
+	s := d.Accountant().Stats()
+	if s.SeqReads < s.RandReads {
+		t.Fatalf("cold heap scan should be mostly sequential: %+v", s)
+	}
+	if s.SeqReads+s.RandReads != int64(h.NumPages()) {
+		t.Fatalf("scan should read each page once: %+v vs %d pages", s, h.NumPages())
+	}
+}
+
+func TestHeapFileRecordTooLarge(t *testing.T) {
+	_, bp := newTestPool(4)
+	h := NewHeapFile(bp)
+	if _, err := h.Insert(make([]byte, PageSize)); err == nil {
+		t.Fatal("oversized record should be rejected")
+	}
+}
+
+func TestHeapFileGetBadTID(t *testing.T) {
+	_, bp := newTestPool(4)
+	h := NewHeapFile(bp)
+	h.Insert([]byte("x"))
+	if _, err := h.Get(TID{Page: 99, Slot: 0}); err == nil {
+		t.Fatal("bad page should error")
+	}
+	if _, err := h.Get(TID{Page: 0, Slot: 99}); err == nil {
+		t.Fatal("bad slot should error")
+	}
+}
+
+func TestBufferPoolHitMiss(t *testing.T) {
+	d, bp := newTestPool(4)
+	h := NewHeapFile(bp)
+	tid, _ := h.Insert([]byte("hello"))
+	bp.ResetCounters()
+	for i := 0; i < 5; i++ {
+		if _, err := h.Get(tid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits, misses := bp.HitRate()
+	if hits != 5 || misses != 0 {
+		t.Fatalf("hits=%d misses=%d (page should be resident)", hits, misses)
+	}
+	if err := bp.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	bp.ResetCounters()
+	d.Accountant().Reset()
+	if _, err := h.Get(tid); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses = bp.HitRate()
+	if misses != 1 {
+		t.Fatalf("after flush expected 1 miss, got hits=%d misses=%d", hits, misses)
+	}
+	if d.Accountant().Stats().Total() != 1 {
+		t.Fatalf("miss should cost exactly one physical read: %+v", d.Accountant().Stats())
+	}
+}
+
+func TestBufferPoolEviction(t *testing.T) {
+	d, bp := newTestPool(3)
+	h := NewHeapFile(bp)
+	rec := make([]byte, 1000)
+	for i := 0; i < 100; i++ {
+		if _, err := h.Insert(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n := h.NumPages()
+	if n <= 3 {
+		t.Fatalf("need more pages than pool capacity, got %d", n)
+	}
+	// Dirty pages must have been written back during eviction.
+	if d.Accountant().Stats().Writes == 0 {
+		t.Fatal("expected writebacks of dirty evicted pages")
+	}
+	// All data still intact.
+	it := h.Scan()
+	count := 0
+	for {
+		_, _, ok, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		count++
+	}
+	it.Close()
+	if count != 100 {
+		t.Fatalf("scan found %d records, want 100", count)
+	}
+}
+
+func TestBufferPoolAllPinnedError(t *testing.T) {
+	d, bp := newTestPool(1)
+	f := d.CreateFile()
+	pid1, _, err := bp.NewPage(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pool of 1, page pinned: allocating another must fail.
+	if _, _, err := bp.NewPage(f); err == nil {
+		t.Fatal("expected pool-exhausted error")
+	}
+	bp.Unpin(f, pid1, false)
+	if _, _, err := bp.NewPage(f); err != nil {
+		t.Fatalf("after unpin allocation should succeed: %v", err)
+	}
+}
+
+func TestDiskErrors(t *testing.T) {
+	d := NewDisk(nil)
+	if _, err := d.ReadPage(42, 0); err == nil {
+		t.Fatal("read of missing file should error")
+	}
+	if _, err := d.AllocPage(42); err == nil {
+		t.Fatal("alloc in missing file should error")
+	}
+	f := d.CreateFile()
+	if err := d.WritePage(f, 0); err == nil {
+		t.Fatal("write beyond EOF should error")
+	}
+	if d.NumPages(f) != 0 {
+		t.Fatal("fresh file should be empty")
+	}
+}
+
+func TestHeapIterCloseMidway(t *testing.T) {
+	_, bp := newTestPool(4)
+	h := NewHeapFile(bp)
+	for i := 0; i < 300; i++ {
+		h.Insert(make([]byte, 100))
+	}
+	it := h.Scan()
+	it.Next()
+	it.Close()
+	if _, _, ok, _ := it.Next(); ok {
+		t.Fatal("closed iterator should be exhausted")
+	}
+	// Page must be unpinned: FlushAll should succeed and a 1-capacity pool fetch works.
+	if err := bp.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,205 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPageInsertGet(t *testing.T) {
+	p := NewPage()
+	recs := [][]byte{[]byte("alpha"), []byte("beta"), []byte("gamma")}
+	var slots []SlotID
+	for _, r := range recs {
+		s, err := p.Insert(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slots = append(slots, s)
+	}
+	for i, s := range slots {
+		got, ok := p.Get(s)
+		if !ok || !bytes.Equal(got, recs[i]) {
+			t.Fatalf("Get(%d) = %q ok=%v, want %q", s, got, ok, recs[i])
+		}
+	}
+	if p.NumSlots() != 3 {
+		t.Fatalf("NumSlots = %d", p.NumSlots())
+	}
+}
+
+func TestPageEmptyRecordRejected(t *testing.T) {
+	p := NewPage()
+	if _, err := p.Insert(nil); err == nil {
+		t.Fatal("empty record should be rejected")
+	}
+}
+
+func TestPageFull(t *testing.T) {
+	p := NewPage()
+	rec := make([]byte, 100)
+	n := 0
+	for p.HasSpace(len(rec)) {
+		if _, err := p.Insert(rec); err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	// 100-byte tuples: ~ (8192-8)/(100+4) ≈ 78 per page.
+	if n < 70 || n > 82 {
+		t.Fatalf("unexpected page capacity for 100-byte tuples: %d", n)
+	}
+	if _, err := p.Insert(rec); err == nil {
+		t.Fatal("insert into full page should fail")
+	}
+	// Existing records still readable.
+	if _, ok := p.Get(0); !ok {
+		t.Fatal("record 0 lost after fill")
+	}
+}
+
+func TestPageDelete(t *testing.T) {
+	p := NewPage()
+	s, _ := p.Insert([]byte("x"))
+	if !p.Delete(s) {
+		t.Fatal("Delete failed")
+	}
+	if _, ok := p.Get(s); ok {
+		t.Fatal("deleted record still visible")
+	}
+	if p.Delete(s) {
+		t.Fatal("double delete should report false")
+	}
+	if p.Delete(99) {
+		t.Fatal("delete of bogus slot should report false")
+	}
+}
+
+func TestPageGetOutOfRange(t *testing.T) {
+	p := NewPage()
+	if _, ok := p.Get(0); ok {
+		t.Fatal("empty page has no slot 0")
+	}
+}
+
+func TestPageRoundTripQuick(t *testing.T) {
+	f := func(payloads [][]byte) bool {
+		p := NewPage()
+		var want [][]byte
+		var slots []SlotID
+		for _, r := range payloads {
+			if len(r) == 0 || len(r) > 500 {
+				continue
+			}
+			if !p.HasSpace(len(r)) {
+				break
+			}
+			s, err := p.Insert(r)
+			if err != nil {
+				return false
+			}
+			want = append(want, r)
+			slots = append(slots, s)
+		}
+		for i, s := range slots {
+			got, ok := p.Get(s)
+			if !ok || !bytes.Equal(got, want[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPageRandomizedInsertDelete(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	p := NewPage()
+	live := map[SlotID][]byte{}
+	for i := 0; i < 500; i++ {
+		if rng.Intn(3) != 0 {
+			rec := make([]byte, 1+rng.Intn(64))
+			rng.Read(rec)
+			if !p.HasSpace(len(rec)) {
+				continue
+			}
+			s, err := p.Insert(rec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			live[s] = rec
+		} else if len(live) > 0 {
+			for s := range live {
+				p.Delete(s)
+				delete(live, s)
+				break
+			}
+		}
+	}
+	for s, want := range live {
+		got, ok := p.Get(s)
+		if !ok || !bytes.Equal(got, want) {
+			t.Fatalf("slot %d mismatch", s)
+		}
+	}
+}
+
+func TestTIDString(t *testing.T) {
+	tid := TID{Page: 3, Slot: 7}
+	if tid.String() != "(3,7)" {
+		t.Fatalf("TID.String() = %q", tid.String())
+	}
+}
+
+func TestIOStats(t *testing.T) {
+	a := IOStats{SeqReads: 5, RandReads: 3, Writes: 2}
+	if a.Total() != 10 {
+		t.Fatalf("Total = %d", a.Total())
+	}
+	b := a.Sub(IOStats{SeqReads: 1, RandReads: 1, Writes: 1})
+	if b != (IOStats{SeqReads: 4, RandReads: 2, Writes: 1}) {
+		t.Fatalf("Sub = %+v", b)
+	}
+}
+
+func TestAccountantSequentialClassification(t *testing.T) {
+	a := &Accountant{}
+	a.RecordRead(1, 0)  // first read: random
+	a.RecordRead(1, 1)  // sequential
+	a.RecordRead(1, 2)  // sequential
+	a.RecordRead(1, 9)  // random (skip)
+	a.RecordRead(2, 10) // random (different file)
+	s := a.Stats()
+	if s.SeqReads != 2 || s.RandReads != 3 {
+		t.Fatalf("stats = %+v", s)
+	}
+	a.RecordRandRead()
+	a.RecordWrite()
+	s = a.Stats()
+	if s.RandReads != 4 || s.Writes != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	a.Reset()
+	if a.Stats().Total() != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestAccountantRandResetsRun(t *testing.T) {
+	a := &Accountant{}
+	a.RecordRead(1, 0)
+	a.RecordRandRead()
+	a.RecordRead(1, 1) // run broken by RecordRandRead: random
+	if s := a.Stats(); s.SeqReads != 0 || s.RandReads != 3 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func ExampleTID_String() {
+	fmt.Println(TID{Page: 1, Slot: 2})
+	// Output: (1,2)
+}

@@ -1,0 +1,719 @@
+// Package predplace is a self-contained object-relational query engine built
+// to reproduce "Practical Predicate Placement" (Hellerstein, SIGMOD 1994).
+//
+// It bundles a paged storage engine with B-tree indexes, a Volcano executor
+// with predicate caching, a SQL front-end for conjunctive queries with
+// expensive user-defined predicates and correlated IN-subqueries, and a
+// System R-style optimizer offering the paper's placement algorithms:
+// PushDown+, PullUp, PullRank, Predicate Migration, LDL, and an Exhaustive
+// oracle.
+//
+// Quick start:
+//
+//	db, _ := predplace.Open(predplace.Config{Scale: 0.05})
+//	res, _ := db.Query("SELECT * FROM t3, t10 WHERE t3.ua1 = t10.ua1 AND costly100(t10.u20)",
+//		predplace.Migration)
+//	fmt.Println(res.Plan)
+//	fmt.Println(res.Stats)
+package predplace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+
+	"predplace/internal/btree"
+	"predplace/internal/catalog"
+	"predplace/internal/datagen"
+	"predplace/internal/exec"
+	"predplace/internal/expr"
+	"predplace/internal/optimizer"
+	"predplace/internal/pcache"
+	"predplace/internal/plan"
+	"predplace/internal/query"
+	"predplace/internal/sqlparse"
+	"predplace/internal/storage"
+)
+
+// Algorithm selects the predicate-placement scheme.
+type Algorithm = optimizer.Algorithm
+
+// The available placement algorithms (see Table 1 of the paper).
+const (
+	NaivePushDown = optimizer.NaivePushDown
+	PushDown      = optimizer.PushDown
+	PullUp        = optimizer.PullUp
+	PullRank      = optimizer.PullRank
+	Migration     = optimizer.Migration
+	LDL           = optimizer.LDL
+	LDLIKKBZ      = optimizer.LDLIKKBZ
+	Exhaustive    = optimizer.Exhaustive
+	// ExhaustiveBushy extends the oracle to bushy join trees.
+	ExhaustiveBushy = optimizer.ExhaustiveBushy
+)
+
+// Algorithms lists every implemented placement algorithm.
+func Algorithms() []Algorithm { return optimizer.Algorithms() }
+
+// Config controls database creation.
+type Config struct {
+	// Scale multiplies the benchmark database's cardinalities
+	// (1.0 reproduces the paper's ~110 MB database; 0 skips loading the
+	// benchmark tables entirely, for user-defined schemas).
+	Scale float64
+	// Tables selects which benchmark relations tN to load (nil = t1…t10).
+	Tables []int
+	// PoolPages sets the buffer pool size in 8 KiB pages (0 = derived).
+	PoolPages int
+	// Caching enables predicate caching (§5.1).
+	Caching bool
+	// PerFunctionCache switches from Montage's per-predicate caching to the
+	// per-function alternative of [Jhi88]/[HS93a]: predicates calling the
+	// same function share cache entries.
+	PerFunctionCache bool
+	// CacheMaxEntries bounds each predicate's cache table (0 = unbounded);
+	// when full an arbitrary entry is evicted (§5.1 notes caches "can be
+	// limited in size, using any of a variety of replacement schemes").
+	CacheMaxEntries int
+	// Budget aborts queries whose charged cost exceeds it (0 = unlimited) —
+	// used to reproduce the paper's did-not-finish result for Query 5.
+	Budget float64
+}
+
+// DB is an open database handle. Handles are safe for sequential use; run
+// one query at a time.
+type DB struct {
+	inner      *datagen.DB
+	caching    bool
+	cacheScope pcache.Scope
+	cacheMax   int
+	budget     float64
+	subSeq     atomic.Int64
+}
+
+// Open creates a database. With Scale > 0 the paper's benchmark schema is
+// generated and the costlyN function family registered.
+func Open(cfg Config) (*DB, error) {
+	var inner *datagen.DB
+	var err error
+	if cfg.Scale > 0 {
+		inner, err = datagen.Build(datagen.Config{
+			Scale:     cfg.Scale,
+			Tables:    cfg.Tables,
+			PoolPages: cfg.PoolPages,
+		})
+	} else {
+		pool := cfg.PoolPages
+		if pool == 0 {
+			pool = 256
+		}
+		acct := &storage.Accountant{}
+		disk := storage.NewDisk(acct)
+		inner = &datagen.DB{
+			Disk: disk,
+			Pool: storage.NewBufferPool(disk, pool),
+			Cat:  catalog.New(),
+		}
+		err = datagen.RegisterStandardFuncs(inner.Cat)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &DB{
+		inner: inner, caching: cfg.Caching, cacheScope: pcacheScope(cfg),
+		cacheMax: cfg.CacheMaxEntries, budget: cfg.Budget,
+	}, nil
+}
+
+// pcacheScope maps the config to a predicate-cache scope.
+func pcacheScope(cfg Config) pcache.Scope {
+	if cfg.PerFunctionCache {
+		return pcache.ByFunction
+	}
+	return pcache.ByPredicate
+}
+
+// Catalog exposes the underlying catalog (tables, statistics, functions).
+func (d *DB) Catalog() *catalog.Catalog { return d.inner.Cat }
+
+// SetCaching toggles predicate caching for subsequent queries.
+func (d *DB) SetCaching(on bool) { d.caching = on }
+
+// SetBudget changes the charged-cost abort threshold (0 = unlimited).
+func (d *DB) SetBudget(b float64) { d.budget = b }
+
+// SetCacheLimit bounds each predicate's cache table for subsequent queries
+// (0 = unbounded).
+func (d *DB) SetCacheLimit(n int) { d.cacheMax = n }
+
+// ColumnSpec declares a column of a user-created table.
+type ColumnSpec struct {
+	// Name of the column.
+	Name string
+	// String marks a string column of width Len; otherwise the column is a
+	// 64-bit integer.
+	String bool
+	// Len is the fixed width of string columns.
+	Len int
+	// Indexed builds a B-tree over the column (integers only).
+	Indexed bool
+}
+
+// CreateTable creates an empty user table.
+func (d *DB) CreateTable(name string, cols []ColumnSpec) error {
+	ccols := make([]catalog.Column, len(cols))
+	for i, c := range cols {
+		if c.String {
+			if c.Len <= 0 {
+				return fmt.Errorf("predplace: string column %s needs Len", c.Name)
+			}
+			ccols[i] = catalog.Column{Name: c.Name, Type: expr.TString, FixedLen: c.Len}
+		} else {
+			ccols[i] = catalog.Column{Name: c.Name, Type: expr.TInt, Distinct: 1}
+		}
+	}
+	codec, err := catalog.NewRowCodec(ccols)
+	if err != nil {
+		return err
+	}
+	tab := &catalog.Table{
+		Name:       name,
+		Columns:    ccols,
+		Heap:       storage.NewHeapFile(d.inner.Pool),
+		Indexes:    map[string]*btree.Tree{},
+		Codec:      codec,
+		TupleBytes: codec.Width(),
+	}
+	for i, c := range cols {
+		if c.Indexed {
+			if c.String {
+				return fmt.Errorf("predplace: string columns cannot be indexed")
+			}
+			tab.Indexes[ccols[i].Name] = btree.New(d.inner.Disk.Accountant())
+		}
+	}
+	return d.inner.Cat.AddTable(tab)
+}
+
+// Insert appends one row. Values must be int64/int or string per column.
+func (d *DB) Insert(table string, values ...interface{}) error {
+	tab, err := d.inner.Cat.Table(table)
+	if err != nil {
+		return err
+	}
+	if len(values) != len(tab.Columns) {
+		return fmt.Errorf("predplace: %s has %d columns, got %d values", table, len(tab.Columns), len(values))
+	}
+	row := make(expr.Row, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case int:
+			row[i] = expr.I(int64(x))
+		case int64:
+			row[i] = expr.I(x)
+		case string:
+			row[i] = expr.S(x)
+		case nil:
+			row[i] = expr.Null
+		default:
+			return fmt.Errorf("predplace: unsupported value type %T", v)
+		}
+	}
+	rec, err := tab.Codec.Encode(row)
+	if err != nil {
+		return err
+	}
+	tid, err := tab.Heap.Insert(rec)
+	if err != nil {
+		return err
+	}
+	for i := range tab.Columns {
+		if tree, ok := tab.Indexes[tab.Columns[i].Name]; ok && row[i].Kind == expr.TInt {
+			tree.Insert(row[i].I, tid)
+		}
+	}
+	tab.Card++
+	return nil
+}
+
+// Analyze recomputes a table's statistics from its data and forgets any
+// loading I/O, preparing it for measured queries.
+func (d *DB) Analyze(table string) error {
+	if err := datagen.ComputeStats(d.inner, table); err != nil {
+		return err
+	}
+	d.inner.Disk.Accountant().Reset()
+	return nil
+}
+
+// RegisterFunc registers a user-defined boolean predicate function with its
+// cost metadata (per-call cost in random-I/O units and selectivity).
+func (d *DB) RegisterFunc(name string, arity int, costPerCall, selectivity float64,
+	eval func(args []Value) Value) error {
+	return d.inner.Cat.RegisterFunc(&expr.FuncDef{
+		Name: name, Arity: arity, Cost: costPerCall, Selectivity: selectivity,
+		Cacheable: true, Eval: eval,
+	})
+}
+
+// Value is a runtime datum; see the expr helpers re-exported below.
+type Value = expr.Value
+
+// Int wraps an integer as a Value.
+func Int(v int64) Value { return expr.I(v) }
+
+// Str wraps a string as a Value.
+func Str(s string) Value { return expr.S(s) }
+
+// Bool wraps a boolean as a Value.
+func Bool(b bool) Value { return expr.B(b) }
+
+// NullValue is the SQL NULL.
+var NullValue = expr.Null
+
+// Stats reports the resources one query consumed; Charged() is the paper's
+// measurement (page I/Os + invocations × per-call cost).
+type Stats = exec.Stats
+
+// PlanInfo carries the optimizer's diagnostics.
+type PlanInfo = optimizer.Info
+
+// Result is the outcome of Query.
+type Result struct {
+	// Cols names the output columns.
+	Cols []string
+	// Rows holds the output (nil for EXPLAIN or DNF).
+	Rows [][]Value
+	// Plan is the chosen plan rendered as a tree.
+	Plan string
+	// EstCost is the optimizer's estimate for the chosen plan.
+	EstCost float64
+	// Stats reports execution resource usage (zero for EXPLAIN).
+	Stats Stats
+	// Info reports planning diagnostics.
+	Info PlanInfo
+	// DNF marks queries aborted by the charged-cost budget.
+	DNF bool
+	// Explained marks EXPLAIN statements (not executed).
+	Explained bool
+}
+
+// Query parses, optimizes with the given algorithm, and (unless the
+// statement has an EXPLAIN prefix) executes the SQL text.
+func (d *DB) Query(sql string, algo Algorithm) (*Result, error) {
+	root, bound, info, err := d.plan(sql, algo)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Plan:    plan.Render(root),
+		EstCost: root.Cost(),
+		Info:    *info,
+	}
+	if bound.Explain && !bound.Analyze {
+		res.Explained = true
+		return res, nil
+	}
+	env := d.newEnv()
+	out, err := exec.Run(env, root)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats = out.Stats
+	res.DNF = out.DNF
+	if bound.Explain { // EXPLAIN ANALYZE: annotated plan, no result rows
+		res.Explained = true
+		res.Plan = plan.RenderWith(root, func(n plan.Node) string {
+			if rows, ok := out.NodeRows[n]; ok {
+				return fmt.Sprintf(" actual=%d", rows)
+			}
+			return " actual=n/a"
+		})
+		return res, nil
+	}
+	res.Cols, res.Rows = project(root, bound, out)
+	finishResult(root, bound, res)
+	return res, nil
+}
+
+// finishResult applies the post-plan result shaping: COUNT(*), ORDER BY,
+// and LIMIT. These operate on the result set (the optimizer's plan space is
+// the paper's — conjunctive filtering and joins); ORDER BY on large results
+// is an in-memory sort.
+func finishResult(root plan.Node, bound *sqlparse.Bound, res *Result) {
+	if bound.CountStar {
+		res.Cols = []string{"count"}
+		res.Rows = [][]Value{{Int(int64(res.Stats.Rows))}}
+		res.Stats.Rows = 1 // one aggregate row is the result
+		return
+	}
+	if bound.OrderBy != nil {
+		idx := -1
+		for i, c := range res.Cols {
+			if c == bound.OrderBy.String() {
+				idx = i
+			}
+		}
+		if idx < 0 {
+			// Star output: locate within the plan's column order.
+			idx = plan.ColIndex(root, *bound.OrderBy)
+		}
+		if idx >= 0 && idx < len(res.Cols) {
+			sort.SliceStable(res.Rows, func(a, b int) bool {
+				c := res.Rows[a][idx].Compare(res.Rows[b][idx])
+				if bound.Desc {
+					return c > 0
+				}
+				return c < 0
+			})
+		}
+	}
+	if bound.Limit >= 0 && int64(len(res.Rows)) > bound.Limit {
+		res.Rows = res.Rows[:bound.Limit]
+	}
+}
+
+// Explain returns the plan chosen by the given algorithm without executing.
+func (d *DB) Explain(sql string, algo Algorithm) (string, error) {
+	root, _, _, err := d.plan(sql, algo)
+	if err != nil {
+		return "", err
+	}
+	return plan.Render(root), nil
+}
+
+// newEnv builds a fresh execution environment.
+func (d *DB) newEnv() *exec.Env {
+	return &exec.Env{
+		Cat:    d.inner.Cat,
+		Pool:   d.inner.Pool,
+		Acct:   d.inner.Disk.Accountant(),
+		Cache:  pcache.NewManagerScoped(d.caching, d.cacheMax, d.cacheScope),
+		Budget: d.budget,
+	}
+}
+
+func (d *DB) plan(sql string, algo Algorithm) (plan.Node, *sqlparse.Bound, *optimizer.Info, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	binder := &sqlparse.Binder{Cat: d.inner.Cat, CompileSubquery: d.compileSubquery}
+	bound, err := binder.Bind(stmt)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	opt := optimizer.New(d.inner.Cat, optimizer.Options{Algorithm: algo, Caching: d.caching})
+	root, info, err := opt.Plan(bound.Query)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return root, bound, info, nil
+}
+
+// project applies the SELECT list to executor output.
+func project(root plan.Node, bound *sqlparse.Bound, out *exec.Result) ([]string, [][]Value) {
+	if bound.Star || len(bound.Projection) == 0 {
+		rows := make([][]Value, len(out.Rows))
+		for i, r := range out.Rows {
+			rows[i] = r
+		}
+		return out.Cols, rows
+	}
+	idx := make([]int, len(bound.Projection))
+	names := make([]string, len(bound.Projection))
+	for i, ref := range bound.Projection {
+		idx[i] = plan.ColIndex(root, ref)
+		names[i] = ref.String()
+	}
+	rows := make([][]Value, len(out.Rows))
+	for i, r := range out.Rows {
+		pr := make([]Value, len(idx))
+		for k, j := range idx {
+			if j >= 0 {
+				pr[k] = r[j]
+			}
+		}
+		rows[i] = pr
+	}
+	return names, rows
+}
+
+// compileSubquery lowers an IN-subquery into an expensive predicate whose
+// evaluation runs the (single-table) subquery through the executor with the
+// correlated outer columns bound — Montage's treatment of subqueries as
+// expensive selections, with the whole predicate's tri-state result cached
+// on the binding (§5.1).
+func (d *DB) compileSubquery(sub *sqlparse.SelectStmt, not bool, args []query.ColRef) (*expr.FuncDef, error) {
+	if len(sub.Tables) != 1 {
+		return nil, fmt.Errorf("predplace: IN-subqueries over joins are unsupported")
+	}
+	if sub.Star || len(sub.Columns) != 1 {
+		return nil, fmt.Errorf("predplace: IN-subquery must select exactly one column")
+	}
+	subTable := sub.Tables[0]
+	tab, err := d.inner.Cat.Table(subTable)
+	if err != nil {
+		return nil, err
+	}
+	outIdx := tab.ColIndex(sub.Columns[0].Col)
+	if outIdx < 0 {
+		return nil, fmt.Errorf("predplace: no column %s in %s", sub.Columns[0].Col, subTable)
+	}
+
+	// Split subquery WHERE into local conjuncts and correlated equalities.
+	var locals []subLocal
+	var corrs []subCorr
+	argPos := map[query.ColRef]int{}
+	for i, a := range args {
+		argPos[a] = i
+	}
+	for _, w := range sub.Where {
+		cmp, ok := w.(*sqlparse.CmpPred)
+		if !ok {
+			return nil, fmt.Errorf("predplace: IN-subqueries support only comparison predicates")
+		}
+		op, err := sqlCmpOp(cmp.Op)
+		if err != nil {
+			return nil, err
+		}
+		// Orient the comparison so the subquery column is on the left.
+		left, right := cmp.Left, cmp.Right
+		if left.IsCol && left.Col.Table != subTable && left.Col.Table != "" {
+			left, right, op = right, left, op.Flip()
+		}
+		if err := classifyCorr(left, right, op, tab, argPos, &corrs, &locals); err != nil {
+			return nil, err
+		}
+	}
+
+	name := fmt.Sprintf("in_%s_%d", subTable, d.subSeq.Add(1))
+	f := &expr.FuncDef{
+		Name:        name,
+		Arity:       len(args),
+		Cost:        float64(tab.Pages()), // optimizer estimate: one scan per call
+		Selectivity: 0.5,
+		Cacheable:   true,
+		RealWork:    true,
+	}
+	f.Eval = func(vals []expr.Value) expr.Value {
+		if vals[0].IsNull() {
+			return expr.Null
+		}
+		// The scan reads through the shared buffer pool, so the subquery's
+		// page traffic is charged to the running query's accountant.
+		it := tab.Heap.Scan()
+		defer it.Close()
+		for {
+			rec, _, ok, err := it.Next()
+			if err != nil || !ok {
+				break
+			}
+			row, err := tab.Codec.Decode(rec)
+			if err != nil {
+				return expr.Null
+			}
+			match := true
+			for _, lc := range locals {
+				if b, known := lc.op.Apply(row[lc.colIdx], lc.value).Bool(); !known || !b {
+					match = false
+					break
+				}
+			}
+			if match {
+				for _, cc := range corrs {
+					if b, known := cc.op.Apply(row[cc.colIdx], vals[cc.argIdx]).Bool(); !known || !b {
+						match = false
+						break
+					}
+				}
+			}
+			if match && row[outIdx].Equal(vals[0]) {
+				return expr.B(!not)
+			}
+		}
+		return expr.B(not)
+	}
+	if err := d.inner.Cat.RegisterFunc(f); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// subLocal is a subquery-local comparison against a constant.
+type subLocal struct {
+	colIdx int
+	op     expr.CmpOp
+	value  expr.Value
+}
+
+// subCorr compares a subquery column against a correlated outer binding.
+type subCorr struct {
+	colIdx int
+	op     expr.CmpOp
+	argIdx int // index into the predicate's argument list
+}
+
+func classifyCorr(colSide, otherSide sqlparse.Operand, op expr.CmpOp,
+	tab *catalog.Table, argPos map[query.ColRef]int,
+	corrs *[]subCorr, locals *[]subLocal) error {
+	if !colSide.IsCol {
+		return fmt.Errorf("predplace: IN-subquery comparison needs a subquery column")
+	}
+	ci := tab.ColIndex(colSide.Col.Col)
+	if ci < 0 {
+		return fmt.Errorf("predplace: no column %s in %s", colSide.Col.Col, tab.Name)
+	}
+	if otherSide.IsCol {
+		ref := query.ColRef{Table: otherSide.Col.Table, Col: otherSide.Col.Col}
+		ai, ok := argPos[ref]
+		if !ok {
+			return fmt.Errorf("predplace: unresolved correlated reference %s", ref)
+		}
+		*corrs = append(*corrs, subCorr{ci, op, ai})
+		return nil
+	}
+	*locals = append(*locals, subLocal{ci, op, sqlOperandValue(otherSide)})
+	return nil
+}
+
+func sqlCmpOp(s string) (expr.CmpOp, error) {
+	switch s {
+	case "=":
+		return expr.OpEQ, nil
+	case "<>":
+		return expr.OpNE, nil
+	case "<":
+		return expr.OpLT, nil
+	case "<=":
+		return expr.OpLE, nil
+	case ">":
+		return expr.OpGT, nil
+	case ">=":
+		return expr.OpGE, nil
+	}
+	return 0, fmt.Errorf("predplace: bad operator %q", s)
+}
+
+func sqlOperandValue(o sqlparse.Operand) expr.Value {
+	switch {
+	case o.IsString:
+		return expr.S(o.Str)
+	case o.IsNull:
+		return expr.Null
+	case o.IsBool:
+		return expr.B(o.Bool)
+	default:
+		return expr.I(o.Int)
+	}
+}
+
+// CompareAll runs the SQL text under every algorithm in algos (defaults to
+// all) and returns one Result per algorithm in order — the harness the paper
+// used to debug its optimizer ("running the same query under the various
+// heuristics and comparing the estimated costs and running times").
+func (d *DB) CompareAll(sql string, algos ...Algorithm) ([]*Result, error) {
+	if len(algos) == 0 {
+		algos = Algorithms()
+	}
+	out := make([]*Result, 0, len(algos))
+	for _, a := range algos {
+		r, err := d.Query(sql, a)
+		if err != nil {
+			return nil, fmt.Errorf("%v: %w", a, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// FormatComparison renders CompareAll results as an aligned table with costs
+// normalized to the best algorithm — the textual analog of the paper's
+// relative-time bar charts.
+func FormatComparison(algos []Algorithm, results []*Result) string {
+	best := 0.0
+	for _, r := range results {
+		c := r.Stats.Charged()
+		if !r.DNF && (best == 0 || c < best) {
+			best = c
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s %14s %10s %14s %8s\n", "algorithm", "charged-cost", "relative", "est-cost", "rows")
+	for i, r := range results {
+		rel := "DNF"
+		charged := r.Stats.Charged()
+		if !r.DNF && best > 0 {
+			rel = fmt.Sprintf("%.2fx", charged/best)
+		}
+		fmt.Fprintf(&b, "%-18s %14.0f %10s %14.0f %8d\n",
+			algos[i].String(), charged, rel, r.EstCost, r.Stats.Rows)
+	}
+	return b.String()
+}
+
+// Exec runs a data-modification statement (currently DELETE FROM … WHERE …)
+// and returns the number of affected rows. Selections are rank-ordered
+// before evaluation, so expensive predicates benefit from the same ordering
+// discipline as queries; statistics become stale after large deletes —
+// re-run Analyze.
+func (d *DB) Exec(sql string) (int, error) {
+	stmt, err := sqlparse.ParseAny(sql)
+	if err != nil {
+		return 0, err
+	}
+	del, ok := stmt.(*sqlparse.DeleteStmt)
+	if !ok {
+		return 0, fmt.Errorf("predplace: Exec handles DELETE; use Query for SELECT")
+	}
+	binder := &sqlparse.Binder{Cat: d.inner.Cat, CompileSubquery: d.compileSubquery}
+	q, err := binder.BindDelete(del)
+	if err != nil {
+		return 0, err
+	}
+	tab, err := d.inner.Cat.Table(del.Table)
+	if err != nil {
+		return 0, err
+	}
+	// Rank-order the predicates (cheap first, then ascending rank).
+	preds := append([]*query.Predicate(nil), q.Preds...)
+	sortPredsByRank(preds)
+
+	env := d.newEnv()
+	tids, err := exec.MatchingTIDs(env, del.Table, preds)
+	if err != nil {
+		return 0, err
+	}
+	for _, tid := range tids {
+		rec, err := tab.Heap.Get(tid)
+		if err != nil {
+			return 0, err
+		}
+		row, err := tab.Codec.Decode(rec)
+		if err != nil {
+			return 0, err
+		}
+		if err := tab.Heap.Delete(tid); err != nil {
+			return 0, err
+		}
+		for i := range tab.Columns {
+			if tree, ok := tab.Indexes[tab.Columns[i].Name]; ok && row[i].Kind == expr.TInt {
+				tree.Delete(row[i].I, tid)
+			}
+		}
+	}
+	tab.Card -= int64(len(tids))
+	return len(tids), nil
+}
+
+// sortPredsByRank orders predicates ascending by (selectivity−1)/cost.
+func sortPredsByRank(preds []*query.Predicate) {
+	sort.SliceStable(preds, func(i, j int) bool {
+		ri, rj := preds[i].Rank(), preds[j].Rank()
+		if ri != rj {
+			return ri < rj
+		}
+		return preds[i].ID < preds[j].ID
+	})
+}

@@ -1,0 +1,525 @@
+package predplace
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func openBench(t *testing.T, tables ...int) *DB {
+	t.Helper()
+	db, err := Open(Config{Scale: 0.02, Tables: tables})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestQuerySingleTable(t *testing.T) {
+	db := openBench(t, 1)
+	res, err := db.Query("SELECT * FROM t1 WHERE t1.ua1 < 10", PushDown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Rows != 10 {
+		t.Fatalf("rows = %d, want 10", res.Stats.Rows)
+	}
+	if res.Plan == "" || res.EstCost <= 0 {
+		t.Fatal("plan/estimate missing")
+	}
+}
+
+func TestQueryProjection(t *testing.T) {
+	db := openBench(t, 1)
+	res, err := db.Query("SELECT t1.ua1 FROM t1 WHERE t1.ua1 < 5", PushDown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cols) != 1 || res.Cols[0] != "t1.ua1" {
+		t.Fatalf("cols = %v", res.Cols)
+	}
+	var got []int64
+	for _, r := range res.Rows {
+		got = append(got, r[0].I)
+	}
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	for i, v := range got {
+		if v != int64(i) {
+			t.Fatalf("values = %v", got)
+		}
+	}
+}
+
+func TestExplainDoesNotExecute(t *testing.T) {
+	db := openBench(t, 1, 3)
+	res, err := db.Query("EXPLAIN SELECT * FROM t1, t3 WHERE t1.ua1 = t3.ua1 AND costly100(t3.u20)", Migration)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Explained || res.Rows != nil || res.Stats.Rows != 0 {
+		t.Fatal("EXPLAIN must not execute")
+	}
+	if !strings.Contains(res.Plan, "costly100") {
+		t.Fatalf("plan missing predicate:\n%s", res.Plan)
+	}
+	s, err := db.Explain("SELECT * FROM t1", PushDown)
+	if err != nil || !strings.Contains(s, "SeqScan t1") {
+		t.Fatalf("Explain: %q %v", s, err)
+	}
+}
+
+func TestAllAlgorithmsSameRows(t *testing.T) {
+	// The correctness invariant the paper's debugging relied on: every
+	// algorithm's plan must compute the same result set.
+	db := openBench(t, 1, 3, 10)
+	sql := "SELECT * FROM t1, t3, t10 WHERE t1.ua1 = t3.ua1 AND t3.ua1 = t10.ua1 AND costly100(t3.u20)"
+	results, err := db.CompareAll(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon := func(r *Result) []string {
+		var out []string
+		for _, row := range r.Rows {
+			var b strings.Builder
+			// Column order differs per join order; compare sorted cells.
+			cells := make([]string, len(row))
+			for i, v := range row {
+				cells[i] = v.String()
+			}
+			sort.Strings(cells)
+			b.WriteString(strings.Join(cells, "|"))
+			out = append(out, b.String())
+		}
+		sort.Strings(out)
+		return out
+	}
+	ref := canon(results[0])
+	if len(ref) == 0 {
+		t.Fatal("query should produce rows")
+	}
+	for i, r := range results[1:] {
+		got := canon(r)
+		if len(got) != len(ref) {
+			t.Fatalf("algorithm %v: %d rows, want %d", Algorithms()[i+1], len(got), len(ref))
+		}
+		for k := range got {
+			if got[k] != ref[k] {
+				t.Fatalf("algorithm %v: row %d differs", Algorithms()[i+1], k)
+			}
+		}
+	}
+}
+
+func TestCachingReducesCharge(t *testing.T) {
+	db := openBench(t, 3, 10)
+	sql := "SELECT * FROM t3, t10 WHERE t3.a10 = t10.a10 AND costly100(t3.u20)"
+	db.SetCaching(false)
+	uncached, err := db.Query(sql, PushDown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.SetCaching(true)
+	cached, err := db.Query(sql, PushDown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached.Stats.Invocations["costly100"] >= uncached.Stats.Invocations["costly100"] {
+		t.Fatalf("caching should reduce invocations: %d vs %d",
+			cached.Stats.Invocations["costly100"], uncached.Stats.Invocations["costly100"])
+	}
+	if cached.Stats.CacheHits == 0 {
+		t.Fatal("expected cache hits")
+	}
+}
+
+func TestBudgetDNF(t *testing.T) {
+	db := openBench(t, 3, 10)
+	db.SetBudget(100)
+	res, err := db.Query("SELECT * FROM t3, t10 WHERE t3.ua1 = t10.ua1 AND costly1000(t3.u20)", PushDown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.DNF {
+		t.Fatal("expected DNF")
+	}
+}
+
+func TestUserTableAndFunction(t *testing.T) {
+	db, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTable("emp", []ColumnSpec{
+		{Name: "id", Indexed: true},
+		{Name: "salary"},
+		{Name: "name", String: true, Len: 16},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := db.Insert("emp", i, 1000+i%10*100, "emp"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Analyze("emp"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.RegisterFunc("red_beard", 1, 50, 0.25, func(args []Value) Value {
+		if args[0].IsNull() {
+			return NullValue
+		}
+		return Bool(args[0].I%4 == 0)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query("SELECT * FROM emp WHERE red_beard(emp.id) AND emp.salary >= 1500", Migration)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Rows == 0 {
+		t.Fatal("expected matches")
+	}
+	// The free salary comparison must be applied below the expensive
+	// predicate: invocations < 100.
+	if res.Stats.Invocations["red_beard"] >= 100 {
+		t.Fatalf("rank ordering failed: %d invocations", res.Stats.Invocations["red_beard"])
+	}
+}
+
+func TestInSubqueryCorrelated(t *testing.T) {
+	db, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustCreate := func(name string, cols []ColumnSpec) {
+		if err := db.CreateTable(name, cols); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustCreate("student", []ColumnSpec{{Name: "id"}, {Name: "mother"}, {Name: "dept"}})
+	mustCreate("professor", []ColumnSpec{{Name: "name"}, {Name: "dept"}})
+	// professors: name n in dept n%3
+	for n := 0; n < 30; n++ {
+		if err := db.Insert("professor", n, n%3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// students: mother m, dept d — in subquery iff professor m exists with dept d
+	for i := 0; i < 60; i++ {
+		if err := db.Insert("student", i, i%40, i%3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.Analyze("student")
+	db.Analyze("professor")
+
+	res, err := db.Query(`SELECT * FROM student WHERE student.mother IN
+		(SELECT name FROM professor WHERE professor.dept = student.dept)`, PushDown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected: mother < 30 (a professor) and mother%3 == dept.
+	want := 0
+	for i := 0; i < 60; i++ {
+		m, d := i%40, i%3
+		if m < 30 && m%3 == d {
+			want++
+		}
+	}
+	if res.Stats.Rows != want {
+		t.Fatalf("rows = %d, want %d", res.Stats.Rows, want)
+	}
+	if res.Stats.IO.Total() == 0 {
+		t.Fatal("subquery evaluation should cost real I/O")
+	}
+}
+
+func TestInSubqueryCachingBindings(t *testing.T) {
+	db, err := Open(Config{Caching: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.CreateTable("r", []ColumnSpec{{Name: "k"}, {Name: "g"}})
+	db.CreateTable("s", []ColumnSpec{{Name: "v"}})
+	for i := 0; i < 50; i++ {
+		db.Insert("r", i%5, i%2) // only 10 distinct (k,g)… (5 k × 2 g)
+	}
+	for i := 0; i < 20; i++ {
+		db.Insert("s", i)
+	}
+	db.Analyze("r")
+	db.Analyze("s")
+	res, err := db.Query("SELECT * FROM r WHERE r.k IN (SELECT v FROM s)", PushDown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Rows != 50 {
+		t.Fatalf("rows = %d, want 50 (all k < 20)", res.Stats.Rows)
+	}
+	// 50 tuples but only 5 distinct bindings: the predicate cache must have
+	// absorbed the rest.
+	if res.Stats.CacheHits < 40 {
+		t.Fatalf("cache hits = %d, want >= 40", res.Stats.CacheHits)
+	}
+}
+
+func TestFormatComparison(t *testing.T) {
+	db := openBench(t, 3, 10)
+	algos := []Algorithm{PushDown, Migration}
+	results, err := db.CompareAll("SELECT * FROM t3, t10 WHERE t3.ua1 = t10.ua1 AND costly100(t10.u20)", algos...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatComparison(algos, results)
+	if !strings.Contains(out, "PushDown") || !strings.Contains(out, "PredicateMigration") {
+		t.Fatalf("missing algorithms:\n%s", out)
+	}
+	if !strings.Contains(out, "1.00x") {
+		t.Fatalf("missing normalized column:\n%s", out)
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	if _, err := Open(Config{Scale: 0.01, Tables: []int{0}}); err == nil {
+		t.Fatal("bad table number should fail")
+	}
+	db, _ := Open(Config{})
+	if err := db.CreateTable("x", []ColumnSpec{{Name: "s", String: true}}); err == nil {
+		t.Fatal("string without Len should fail")
+	}
+	if err := db.CreateTable("y", []ColumnSpec{{Name: "s", String: true, Len: 4, Indexed: true}}); err == nil {
+		t.Fatal("indexed string should fail")
+	}
+	db.CreateTable("z", []ColumnSpec{{Name: "a"}})
+	if err := db.Insert("z", 1, 2); err == nil {
+		t.Fatal("arity mismatch should fail")
+	}
+	if err := db.Insert("z", 3.14); err == nil {
+		t.Fatal("bad type should fail")
+	}
+	if _, err := db.Query("SELECT * FROM nope", PushDown); err == nil {
+		t.Fatal("missing table should fail")
+	}
+	if _, err := db.Query("NOT SQL", PushDown); err == nil {
+		t.Fatal("parse error should surface")
+	}
+}
+
+func TestPerFunctionCacheSharing(t *testing.T) {
+	// Two predicates calling the same function over columns with identical
+	// values: per-function caching shares entries between them, halving
+	// invocations relative to per-predicate caching.
+	run := func(perFunc bool) int64 {
+		db, err := Open(Config{Caching: true, PerFunctionCache: perFunc})
+		if err != nil {
+			t.Fatal(err)
+		}
+		db.CreateTable("r", []ColumnSpec{{Name: "a"}, {Name: "b"}})
+		for i := 0; i < 100; i++ {
+			db.Insert("r", i, i) // a == b
+		}
+		db.Analyze("r")
+		db.RegisterFunc("twice", 1, 10, 0.9, func(args []Value) Value {
+			return Bool(args[0].I%10 != 0)
+		})
+		res, err := db.Query("SELECT * FROM r WHERE twice(r.a) AND twice(r.b)", PushDown)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Stats.Invocations["twice"]
+	}
+	perPred := run(false)
+	perFunc := run(true)
+	if perFunc >= perPred {
+		t.Fatalf("per-function caching should share entries: %d vs %d", perFunc, perPred)
+	}
+}
+
+func TestExplainAnalyze(t *testing.T) {
+	db := openBench(t, 3, 9)
+	res, err := db.Query("EXPLAIN ANALYZE SELECT * FROM t3, t9 WHERE t3.ua1 = t9.ua1 AND costly100(t9.u20)", Migration)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Explained || res.Rows != nil {
+		t.Fatal("EXPLAIN ANALYZE should not return rows")
+	}
+	if res.Stats.Rows == 0 {
+		t.Fatal("EXPLAIN ANALYZE must actually execute")
+	}
+	if !strings.Contains(res.Plan, "actual=") {
+		t.Fatalf("plan missing actual counts:\n%s", res.Plan)
+	}
+	// The scan nodes' actual counts must equal the table cardinalities.
+	t3, _ := db.Catalog().Table("t3")
+	if !strings.Contains(res.Plan, "actual="+intToStr(t3.Card)) {
+		t.Fatalf("t3 scan actual count missing:\n%s", res.Plan)
+	}
+}
+
+func intToStr(v int64) string { return strconv.FormatInt(v, 10) }
+
+func TestHistogramImprovesSkewedEstimates(t *testing.T) {
+	// Load a skewed user table, ANALYZE it, and check the planner's range
+	// selectivity estimate (visible through the plan's estimated cardinality)
+	// is close to the truth.
+	db, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.CreateTable("skew", []ColumnSpec{{Name: "v"}})
+	n := 0
+	for i := 0; i < 900; i++ { // 90% of mass below 10
+		db.Insert("skew", i%10)
+		n++
+	}
+	for i := 0; i < 100; i++ {
+		db.Insert("skew", 10+i*97)
+		n++
+	}
+	if err := db.Analyze("skew"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query("EXPLAIN SELECT * FROM skew WHERE skew.v < 10", PushDown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without histograms the uniform interpolation would estimate
+	// 10/9693 ≈ 0.1% of 1000 = ~1 row; the truth is 900.
+	run, err := db.Query("SELECT * FROM skew WHERE skew.v < 10", PushDown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Stats.Rows != 900 {
+		t.Fatalf("truth check failed: %d rows", run.Stats.Rows)
+	}
+	if !strings.Contains(res.Plan, "card=9") { // 900±histogram noise prints card=9xx
+		t.Fatalf("histogram estimate missing from plan:\n%s", res.Plan)
+	}
+}
+
+func TestCountStar(t *testing.T) {
+	db := openBench(t, 1)
+	res, err := db.Query("SELECT COUNT(*) FROM t1 WHERE t1.ua1 < 50", PushDown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].I != 50 || res.Cols[0] != "count" {
+		t.Fatalf("count = %v cols=%v", res.Rows, res.Cols)
+	}
+}
+
+func TestOrderByAndLimit(t *testing.T) {
+	db := openBench(t, 1)
+	res, err := db.Query("SELECT t1.ua1 FROM t1 WHERE t1.ua1 < 20 ORDER BY t1.ua1 DESC LIMIT 5", PushDown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("limit failed: %d rows", len(res.Rows))
+	}
+	for i, want := range []int64{19, 18, 17, 16, 15} {
+		if res.Rows[i][0].I != want {
+			t.Fatalf("order wrong at %d: %v", i, res.Rows[i][0])
+		}
+	}
+	// Ascending default, star output.
+	res, err = db.Query("SELECT * FROM t1 WHERE t1.ua1 < 10 ORDER BY t1.ua1 LIMIT 3", PushDown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci := -1
+	for i, c := range res.Cols {
+		if c == "t1.ua1" {
+			ci = i
+		}
+	}
+	if ci < 0 || len(res.Rows) != 3 || res.Rows[0][ci].I != 0 || res.Rows[2][ci].I != 2 {
+		t.Fatalf("asc order/limit wrong: %v", res.Rows)
+	}
+}
+
+func TestOrderByErrors(t *testing.T) {
+	db := openBench(t, 1)
+	if _, err := db.Query("SELECT * FROM t1 ORDER BY nope", PushDown); err == nil {
+		t.Fatal("unknown order column should fail")
+	}
+	if _, err := db.Query("SELECT * FROM t1 LIMIT -3", PushDown); err == nil {
+		t.Fatal("negative limit should fail")
+	}
+}
+
+func TestExecDelete(t *testing.T) {
+	db, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.CreateTable("d", []ColumnSpec{{Name: "k", Indexed: true}, {Name: "g"}})
+	for i := 0; i < 100; i++ {
+		db.Insert("d", i, i%4)
+	}
+	db.Analyze("d")
+
+	n, err := db.Exec("DELETE FROM d WHERE d.g = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 25 {
+		t.Fatalf("deleted %d rows, want 25", n)
+	}
+	res, err := db.Query("SELECT COUNT(*) FROM d", PushDown)
+	if err != nil || res.Rows[0][0].I != 75 {
+		t.Fatalf("remaining = %v, %v", res.Rows, err)
+	}
+	// Index must no longer find deleted keys (k=1 had g=1).
+	res, err = db.Query("SELECT * FROM d WHERE d.k = 1", PushDown)
+	if err != nil || res.Stats.Rows != 0 {
+		t.Fatalf("deleted row still indexed: rows=%d", res.Stats.Rows)
+	}
+	// Surviving rows still indexed.
+	res, err = db.Query("SELECT * FROM d WHERE d.k = 2", PushDown)
+	if err != nil || res.Stats.Rows != 1 {
+		t.Fatalf("surviving row lost: rows=%d", res.Stats.Rows)
+	}
+	// Delete everything.
+	n, err = db.Exec("DELETE FROM d")
+	if err != nil || n != 75 {
+		t.Fatalf("delete-all: %d, %v", n, err)
+	}
+	// Errors.
+	if _, err := db.Exec("DELETE FROM missing"); err == nil {
+		t.Fatal("missing table should fail")
+	}
+	if _, err := db.Exec("SELECT * FROM d"); err == nil {
+		t.Fatal("Exec of SELECT should fail")
+	}
+}
+
+func TestExecDeleteWithExpensivePredicate(t *testing.T) {
+	db, err := Open(Config{Caching: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.CreateTable("e", []ColumnSpec{{Name: "k"}, {Name: "v"}})
+	for i := 0; i < 60; i++ {
+		db.Insert("e", i, i%6)
+	}
+	db.Analyze("e")
+	db.RegisterFunc("expensive_even", 1, 40, 0.5, func(args []Value) Value {
+		return Bool(args[0].I%2 == 0)
+	})
+	// Cheap v=0 filter (sel 1/6) must run before the expensive predicate:
+	// with rank ordering, invocations ≤ 10 (the v=0 survivors), not 60.
+	n, err := db.Exec("DELETE FROM e WHERE expensive_even(e.k) AND e.v = 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 10 {
+		t.Fatalf("deleted %d, want 10", n)
+	}
+	f, _ := db.Catalog().Func("expensive_even")
+	if f.Calls() > 10 {
+		t.Fatalf("rank ordering not applied to DELETE: %d invocations", f.Calls())
+	}
+}

@@ -1,0 +1,94 @@
+package predplace_test
+
+// Heavier randomized stress over four tables with varied join columns
+// (unique, duplicating, and unindexed equijoins) and up to three expensive
+// predicates. Invariants: identical row counts across all eight algorithms,
+// the exhaustive oracle's estimate never loses, and Migration's estimate
+// never loses to the heuristics.
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"predplace"
+)
+
+func genStressQuery(rng *rand.Rand) string {
+	tables := []string{"t1", "t2", "t3", "t4"}
+	rng.Shuffle(len(tables), func(i, j int) { tables[i], tables[j] = tables[j], tables[i] })
+	n := 2 + rng.Intn(3)
+	tables = tables[:n]
+	var preds []string
+	joinCols := []string{"ua1", "a10", "u10"}
+	for i := 1; i < n; i++ {
+		c := joinCols[rng.Intn(len(joinCols))]
+		preds = append(preds, fmt.Sprintf("%s.%s = %s.%s", tables[i-1], c, tables[i], c))
+	}
+	costs := []string{"costly1", "costly10", "costly100", "costly1000"}
+	cols := []string{"u10", "u20", "u100", "ua1"}
+	for k := rng.Intn(4); k > 0; k-- {
+		preds = append(preds, fmt.Sprintf("%s(%s.%s)",
+			costs[rng.Intn(len(costs))], tables[rng.Intn(n)], cols[rng.Intn(len(cols))]))
+	}
+	if rng.Intn(2) == 0 {
+		preds = append(preds, fmt.Sprintf("%s.u10 < %d", tables[rng.Intn(n)], 1+rng.Intn(20)))
+	}
+	return fmt.Sprintf("SELECT * FROM %s WHERE %s",
+		strings.Join(tables, ", "), strings.Join(preds, " AND "))
+}
+
+func TestStressInvariants(t *testing.T) {
+	trials := 120
+	if testing.Short() {
+		trials = 25
+	}
+	db, err := predplace.Open(predplace.Config{Scale: 0.005, Tables: []int{1, 2, 3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(777))
+	algos := predplace.Algorithms()
+	for trial := 0; trial < trials; trial++ {
+		sql := genStressQuery(rng)
+		var exEst, bushyEst, mgEst float64
+		ests := map[string]float64{}
+		refRows := -1
+		for _, a := range algos {
+			r, err := db.Query(sql, a)
+			if err != nil {
+				t.Fatalf("%v on %q: %v", a, sql, err)
+			}
+			if refRows == -1 {
+				refRows = r.Stats.Rows
+			} else if r.Stats.Rows != refRows {
+				t.Fatalf("row count mismatch under %v: %d vs %d on %q", a, r.Stats.Rows, refRows, sql)
+			}
+			ests[a.String()] = r.EstCost
+			switch a {
+			case predplace.Exhaustive:
+				exEst = r.EstCost
+			case predplace.ExhaustiveBushy:
+				bushyEst = r.EstCost
+			case predplace.Migration:
+				mgEst = r.EstCost
+			}
+		}
+		// The left-deep oracle never loses to left-deep algorithms; the
+		// bushy oracle never loses to anything (its space is a superset).
+		for name, est := range ests {
+			if name != "ExhaustiveBushy" && exEst > est*1.001 {
+				t.Errorf("Exhaustive estimate (%.1f) lost to %s (%.1f) on %q", exEst, name, est, sql)
+			}
+			if bushyEst > est*1.001 {
+				t.Errorf("ExhaustiveBushy estimate (%.1f) lost to %s (%.1f) on %q", bushyEst, name, est, sql)
+			}
+		}
+		for _, name := range []string{"PushDown", "PullRank", "PullUp"} {
+			if mgEst > ests[name]*1.001 {
+				t.Errorf("Migration estimate (%.1f) lost to %s (%.1f) on %q", mgEst, name, ests[name], sql)
+			}
+		}
+	}
+}
