@@ -1,0 +1,20 @@
+#!/bin/sh
+# check.sh — the repository's full verification gate. Tier-1 CI runs
+# `go build ./... && go test ./...`; this script is the stricter local/CI
+# superset: vet, the project's own static analyzers (pplint), the build,
+# and the full test suite under the race detector.
+set -e
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go run ./cmd/pplint ./..."
+go run ./cmd/pplint ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "OK"

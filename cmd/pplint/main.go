@@ -1,0 +1,179 @@
+// Command pplint runs the repository's static-analysis suite (internal/lint)
+// over every package of the module: float-equality hazards in rank/cost
+// code, iterator Close-chain leaks, dropped errors, non-exhaustive enum
+// switches, and plan.Node contract violations.
+//
+// Usage:
+//
+//	go run ./cmd/pplint ./...
+//	go run ./cmd/pplint -disable errdrop ./...
+//	go run ./cmd/pplint -enable floatcmp,closechain ./internal/...
+//	go run ./cmd/pplint -list
+//
+// Exit status: 0 clean, 1 diagnostics reported, 2 load/usage failure.
+// Diagnostics print as file:line:col: [analyzer] message. Suppress a single
+// finding with a `//pplint:ignore <analyzer> <reason>` comment on or above
+// the flagged line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"predplace/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("pplint", flag.ContinueOnError)
+	var (
+		enable  = fs.String("enable", "", "comma-separated analyzers to run (default: all)")
+		disable = fs.String("disable", "", "comma-separated analyzers to skip")
+		list    = fs.Bool("list", false, "list available analyzers and exit")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: pplint [-enable a,b] [-disable a,b] [-list] [packages]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-18s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers, err := selectAnalyzers(*enable, *disable)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pplint:", err)
+		return 2
+	}
+
+	// Package patterns narrow which loaded packages are inspected; the whole
+	// module is always loaded (type-checking needs every dependency anyway).
+	start := "."
+	if fs.NArg() > 0 {
+		start = strings.TrimSuffix(strings.TrimSuffix(fs.Arg(0), "..."), "/")
+		if start == "" {
+			start = "."
+		}
+	}
+	root, err := lint.FindModuleRoot(start)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pplint:", err)
+		return 2
+	}
+	pkgs, err := lint.LoadRepo(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pplint:", err)
+		return 2
+	}
+	pkgs = filterPackages(pkgs, fs.Args())
+	if len(pkgs) == 0 {
+		fmt.Fprintf(os.Stderr, "pplint: no packages match %s\n", strings.Join(fs.Args(), " "))
+		return 2
+	}
+
+	diags, err := lint.RunAnalyzers(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pplint:", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Println(d.String())
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "pplint: %d issue(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// selectAnalyzers applies -enable/-disable to the registry.
+func selectAnalyzers(enable, disable string) ([]*lint.Analyzer, error) {
+	chosen := lint.Analyzers()
+	if enable != "" {
+		chosen = chosen[:0]
+		for _, name := range splitList(enable) {
+			a, ok := lint.ByName(name)
+			if !ok {
+				return nil, fmt.Errorf("unknown analyzer %q (try -list)", name)
+			}
+			chosen = append(chosen, a)
+		}
+	}
+	if disable != "" {
+		skip := map[string]bool{}
+		for _, name := range splitList(disable) {
+			if _, ok := lint.ByName(name); !ok {
+				return nil, fmt.Errorf("unknown analyzer %q (try -list)", name)
+			}
+			skip[name] = true
+		}
+		kept := chosen[:0]
+		for _, a := range chosen {
+			if !skip[a.Name] {
+				kept = append(kept, a)
+			}
+		}
+		chosen = kept
+	}
+	if len(chosen) == 0 {
+		return nil, fmt.Errorf("no analyzers selected")
+	}
+	return chosen, nil
+}
+
+// filterPackages keeps packages whose directory falls under any of the
+// argument patterns (a `...` suffix means the whole subtree; no args or
+// `./...` means everything).
+func filterPackages(pkgs []*lint.Package, patterns []string) []*lint.Package {
+	if len(patterns) == 0 {
+		return pkgs
+	}
+	var prefixes []string
+	for _, p := range patterns {
+		p = strings.TrimSuffix(p, "...")
+		p = strings.TrimSuffix(p, "/")
+		p = strings.TrimPrefix(p, "./")
+		if p == "" || p == "." {
+			return pkgs
+		}
+		prefixes = append(prefixes, p)
+	}
+	var out []*lint.Package
+	for _, pkg := range pkgs {
+		for _, pre := range prefixes {
+			// Match against the import-path tail below the module.
+			tail := pkg.Path
+			if i := strings.Index(tail, "/"); i >= 0 {
+				tail = tail[i+1:]
+			} else {
+				tail = "."
+			}
+			if tail == pre || strings.HasPrefix(tail, pre+"/") || strings.HasPrefix(tail, pre) {
+				out = append(out, pkg)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// splitList splits a comma-separated flag value.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

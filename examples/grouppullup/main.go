@@ -24,10 +24,10 @@ func main() {
 
 	// Rank arithmetic, straight from the catalog (§4.1, §4.4).
 	cat := db.Catalog()
-	t1, _ := cat.Table("t1")
-	t3, _ := cat.Table("t3")
-	t10, _ := cat.Table("t10")
-	costly, _ := cat.Func("costly100")
+	t1 := must(cat.Table("t1"))
+	t3 := must(cat.Table("t3"))
+	t10 := must(cat.Table("t10"))
+	costly := must(cat.Func("costly100"))
 
 	const joinCostPerTuple = 0.052 // 2 × hash-partition spill per tuple
 
@@ -66,4 +66,12 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println(predplace.FormatComparison(algos, results))
+}
+
+// must unwraps catalog lookups of objects the example itself created.
+func must[T any](v T, err error) T {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return v
 }

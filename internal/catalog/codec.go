@@ -53,6 +53,8 @@ func (rc *RowCodec) Encode(row expr.Row) ([]byte, error) {
 				out = append(out, make([]byte, 8)...)
 			case expr.TString:
 				out = append(out, make([]byte, c.FixedLen)...)
+			default:
+				return nil, fmt.Errorf("catalog: column %s has unsupported type %v", c.Name, c.Type)
 			}
 			continue
 		}
@@ -75,6 +77,8 @@ func (rc *RowCodec) Encode(row expr.Row) ([]byte, error) {
 			buf := make([]byte, c.FixedLen)
 			copy(buf, v.S)
 			out = append(out, buf...)
+		default:
+			return nil, fmt.Errorf("catalog: column %s has unsupported type %v", c.Name, c.Type)
 		}
 	}
 	return out, nil
@@ -115,6 +119,8 @@ func (rc *RowCodec) Decode(rec []byte) (expr.Row, error) {
 				row[i] = expr.Null
 			}
 			off += c.FixedLen
+		default:
+			return nil, fmt.Errorf("catalog: column %s has unsupported type %v", c.Name, c.Type)
 		}
 	}
 	return row, nil
@@ -133,6 +139,8 @@ func (rc *RowCodec) DecodeCol(rec []byte, idx int) (expr.Value, error) {
 			off += 9
 		case expr.TString:
 			off += 1 + rc.cols[i].FixedLen
+		default:
+			return expr.Null, fmt.Errorf("catalog: column %s has unsupported type %v", rc.cols[i].Name, rc.cols[i].Type)
 		}
 	}
 	c := rc.cols[idx]

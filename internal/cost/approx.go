@@ -1,0 +1,28 @@
+package cost
+
+import "math"
+
+// ApproxEqTol is the relative tolerance of ApproxEq. Ranks and costs are
+// built from catalog statistics by short chains of arithmetic (Compose,
+// Annotate), so genuine ties agree to far better than 1e-9 while genuinely
+// different placements differ by far more; 1e-9 cleanly separates
+// "accumulated rounding noise" from "real difference".
+const ApproxEqTol = 1e-9
+
+// ApproxEq reports whether two float64 rank/cost values are equal up to
+// accumulated floating-point rounding error: exactly equal, within
+// ApproxEqTol absolutely (near-zero values), or within ApproxEqTol
+// relatively. Every equality comparison of ranks or costs in the optimizer
+// must go through this helper rather than ==/!= (enforced by pplint's
+// floatcmp analyzer): raw equality makes tie-breaking — and therefore plan
+// choice — depend on evaluation order.
+func ApproxEq(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	d := math.Abs(a - b)
+	if d <= ApproxEqTol {
+		return true
+	}
+	return d <= ApproxEqTol*math.Max(math.Abs(a), math.Abs(b))
+}

@@ -43,15 +43,20 @@ type Env struct {
 
 // begin snapshots counters at query start. The buffer pool is flushed so
 // every query is measured cold, the way the paper's I/O-dominated runs were.
-func (e *Env) begin() {
+// A flush failure is fatal to the measurement (the baseline I/O snapshot
+// would be wrong), so it aborts the query instead of being dropped.
+func (e *Env) begin() error {
 	e.Cat.ResetFuncCounters()
 	if e.Cache != nil {
 		e.Cache.Reset()
 	}
-	_ = e.Pool.FlushAll()
+	if err := e.Pool.FlushAll(); err != nil {
+		return fmt.Errorf("exec: flushing buffer pool at query start: %w", err)
+	}
 	e.baseIO = e.Acct.Stats()
 	e.syntheticIO = 0
 	e.trace = map[plan.Node]*int64{}
+	return nil
 }
 
 // ChargeSynthetic adds simulated spill I/O (external sort runs, hash
@@ -85,6 +90,9 @@ type Stats struct {
 	Invocations map[string]int64
 	// CacheHits and CacheMisses report predicate-cache traffic.
 	CacheHits, CacheMisses int64
+	// CacheEntries is the number of cached bindings at query end (the
+	// paper's §5.1 hash tables are per-query, so this is their peak size).
+	CacheEntries int
 	// Rows is the number of result rows.
 	Rows int
 }
@@ -111,16 +119,18 @@ func (e *Env) finish(rows int) Stats {
 		charge += f.ChargedCost()
 	}
 	var hits, misses int64
+	var entries int
 	if e.Cache != nil {
-		hits, misses, _ = e.Cache.Stats()
+		hits, misses, entries = e.Cache.Stats()
 	}
 	return Stats{
-		IO:          e.Acct.Stats().Sub(e.baseIO),
-		SyntheticIO: e.syntheticIO,
-		FuncCharge:  charge,
-		Invocations: inv,
-		CacheHits:   hits,
-		CacheMisses: misses,
-		Rows:        rows,
+		IO:           e.Acct.Stats().Sub(e.baseIO),
+		SyntheticIO:  e.syntheticIO,
+		FuncCharge:   charge,
+		Invocations:  inv,
+		CacheHits:    hits,
+		CacheMisses:  misses,
+		CacheEntries: entries,
+		Rows:         rows,
 	}
 }

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -71,7 +72,9 @@ func (n *nlJoinIter) Next() (expr.Row, bool, error) {
 			n.outerRow = row
 			n.haveOut = true
 			if n.inner != nil {
-				n.inner.Close()
+				if err := n.inner.Close(); err != nil {
+					return nil, false, err
+				}
 			}
 			inner, err := Build(n.e, n.node.Inner)
 			if err != nil {
@@ -113,11 +116,12 @@ func (n *nlJoinIter) Next() (expr.Row, bool, error) {
 }
 
 func (n *nlJoinIter) Close() error {
+	var cerr error
 	if n.inner != nil {
-		n.inner.Close()
+		cerr = n.inner.Close()
 		n.inner = nil
 	}
-	return n.outer.Close()
+	return errors.Join(cerr, n.outer.Close())
 }
 
 // indexNLJoinIter probes the inner base table's B-tree with each outer
@@ -308,7 +312,9 @@ func (h *hashJoinIter) Open() error {
 			}
 		}
 	}
-	h.inner.Close()
+	if err := h.inner.Close(); err != nil {
+		return err
+	}
 	return h.outer.Open()
 }
 
@@ -344,8 +350,7 @@ func (h *hashJoinIter) Next() (expr.Row, bool, error) {
 }
 
 func (h *hashJoinIter) Close() error {
-	h.outer.Close()
-	return h.inner.Close()
+	return errors.Join(h.outer.Close(), h.inner.Close())
 }
 
 // mergeJoinIter materializes both inputs, sorts whichever sides the plan
@@ -381,17 +386,16 @@ func drain(e *Env, n plan.Node) ([]expr.Row, error) {
 		return nil, err
 	}
 	if err := it.Open(); err != nil {
-		return nil, err
+		return nil, errors.Join(err, it.Close())
 	}
-	defer it.Close()
 	var rows []expr.Row
 	for {
 		row, ok, err := it.Next()
 		if err != nil {
-			return nil, err
+			return nil, errors.Join(err, it.Close())
 		}
 		if !ok {
-			return rows, nil
+			return rows, it.Close()
 		}
 		rows = append(rows, row)
 	}

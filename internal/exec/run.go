@@ -1,6 +1,10 @@
 package exec
 
 import (
+	"errors"
+	"fmt"
+	"os"
+
 	"predplace/internal/expr"
 	"predplace/internal/plan"
 	"predplace/internal/query"
@@ -33,9 +37,18 @@ func collectTrace(e *Env) map[plan.Node]int64 {
 }
 
 // Run executes a plan tree to completion, resetting function counters and
-// the predicate cache first (each query is measured in isolation).
+// the predicate cache first (each query is measured in isolation). With
+// PPLINT_VALIDATE=1 in the environment, the plan tree is checked against the
+// structural invariants of plan.Validate before any execution.
 func Run(e *Env, root plan.Node) (*Result, error) {
-	e.begin()
+	if os.Getenv("PPLINT_VALIDATE") == "1" {
+		if err := plan.Validate(root); err != nil {
+			return nil, fmt.Errorf("exec: refusing to run invalid plan: %w", err)
+		}
+	}
+	if err := e.begin(); err != nil {
+		return nil, err
+	}
 	it, err := Build(e, root)
 	if err != nil {
 		return nil, err
@@ -44,43 +57,42 @@ func Run(e *Env, root plan.Node) (*Result, error) {
 	for _, c := range root.Cols() {
 		res.Cols = append(res.Cols, c.String())
 	}
-	if err := it.Open(); err != nil {
-		it.Close()
-		if err == ErrBudgetExceeded {
-			res.DNF = true
-			res.Stats = e.finish(0)
-			res.NodeRows = collectTrace(e)
-			return res, nil
-		}
+	rows, err := pump(e, it, res)
+	cerr := it.Close()
+	if err == ErrBudgetExceeded {
+		// The abort is the measurement (the paper's "did not finish"); a
+		// Close failure after it would still be a real engine error.
+		res.DNF = true
+		err = nil
+	}
+	if err := errors.Join(err, cerr); err != nil {
 		return nil, err
+	}
+	res.Stats = e.finish(rows)
+	res.NodeRows = collectTrace(e)
+	return res, nil
+}
+
+// pump opens the iterator and drains it into res, returning the number of
+// rows produced. The caller owns closing the iterator.
+func pump(e *Env, it Iterator, res *Result) (int, error) {
+	if err := it.Open(); err != nil {
+		return 0, err
 	}
 	rows := 0
 	for {
 		row, ok, err := it.Next()
 		if err != nil {
-			it.Close()
-			if err == ErrBudgetExceeded {
-				res.DNF = true
-				res.Stats = e.finish(rows)
-				res.NodeRows = collectTrace(e)
-				return res, nil
-			}
-			return nil, err
+			return rows, err
 		}
 		if !ok {
-			break
+			return rows, nil
 		}
 		rows++
 		if !e.CountOnly {
 			res.Rows = append(res.Rows, row)
 		}
 	}
-	if err := it.Close(); err != nil {
-		return nil, err
-	}
-	res.Stats = e.finish(rows)
-	res.NodeRows = collectTrace(e)
-	return res, nil
 }
 
 // MatchingTIDs scans a base table and returns the tuple ids of rows

@@ -136,6 +136,8 @@ func (v Value) Hash() uint64 {
 func (v Value) AppendKey(dst []byte) []byte {
 	dst = append(dst, byte(v.Kind))
 	switch v.Kind {
+	case TNull:
+		// The kind byte alone encodes NULL.
 	case TInt, TBool:
 		var buf [8]byte
 		binary.BigEndian.PutUint64(buf[:], uint64(v.I))
@@ -243,6 +245,8 @@ func (op CmpOp) Apply(a, b Value) Value {
 // Flip returns the operator with operands swapped: a op b == b op.Flip() a.
 func (op CmpOp) Flip() CmpOp {
 	switch op {
+	case OpEQ, OpNE:
+		return op // symmetric
 	case OpLT:
 		return OpGT
 	case OpLE:

@@ -76,6 +76,8 @@ func (h *Harness) ComplexSuite() (*Report, error) {
 				mg = r.Stats.Charged()
 			case predplace.Exhaustive:
 				ex = r.Stats.Charged()
+			default:
+				// Only the Migration-vs-Exhaustive gap is asserted below.
 			}
 		}
 		b.WriteByte('\n')

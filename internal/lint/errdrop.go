@@ -1,0 +1,222 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrDropAnalyzer flags silently discarded error returns: blank-assigned
+// errors (`_ = f()`, `a, _ := g()` where the blank hides an error) and bare
+// call statements whose results include an error. The paper's measured
+// charged costs depend on FlushAll/Close/Stats actually happening; a dropped
+// error turns an I/O accounting failure into silently wrong numbers.
+//
+// Deliberate, safe drops are exempt:
+//   - defer'd calls (close-on-the-way-out; Go offers no good channel for
+//     their errors without named-result gymnastics),
+//   - fmt.Print/Printf/Println to stdout,
+//   - fmt.Fprint* into strings.Builder, bytes.Buffer, os.Stdout, os.Stderr,
+//   - methods on strings.Builder / bytes.Buffer (their Write* never fail),
+//   - Write on hash.Hash implementations ("It never returns an error" —
+//     hash package docs).
+//
+// Anything else needs handling, propagation, or a `//pplint:ignore errdrop
+// <reason>` with a written justification.
+var ErrDropAnalyzer = &Analyzer{
+	Name: "errdrop",
+	Doc:  "flags discarded error returns (`_ =` and bare calls) outside tests",
+	Run:  runErrDrop,
+}
+
+func runErrDrop(pass *Pass) error {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		name := pass.Pkg.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch t := n.(type) {
+			case *ast.DeferStmt:
+				return false // deferred cleanup: exempt
+			case *ast.AssignStmt:
+				checkBlankErr(pass, t)
+			case *ast.ExprStmt:
+				call, ok := t.X.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if !callReturnsError(info, call) || allowlistedCall(info, call) {
+					return true
+				}
+				pass.Reportf(call.Pos(), "result of %s includes an error that is silently discarded; handle or propagate it", callName(call))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkBlankErr flags `_` on the left-hand side of an assignment when the
+// corresponding right-hand value is an error.
+func checkBlankErr(pass *Pass, a *ast.AssignStmt) {
+	info := pass.Pkg.Info
+	// Either a 1:1 assignment list or a single multi-value call.
+	rhsType := func(i int) types.Type {
+		if len(a.Rhs) == len(a.Lhs) {
+			if tv, ok := info.Types[a.Rhs[i]]; ok {
+				return tv.Type
+			}
+			return nil
+		}
+		if len(a.Rhs) != 1 {
+			return nil
+		}
+		tv, ok := info.Types[a.Rhs[0]]
+		if !ok {
+			return nil
+		}
+		if tup, ok := tv.Type.(*types.Tuple); ok && i < tup.Len() {
+			return tup.At(i).Type()
+		}
+		return nil
+	}
+	for i, lhs := range a.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			continue
+		}
+		if t := rhsType(i); t != nil && isErrorType(t) {
+			pass.Reportf(id.Pos(), "error assigned to blank identifier; handle or propagate it")
+		}
+	}
+}
+
+// callReturnsError reports whether any result of the call is an error.
+func callReturnsError(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// allowlistedCall exempts calls whose error results are structurally
+// uninteresting (see the analyzer doc).
+func allowlistedCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	// fmt.Print* and fmt.Fprint* into infallible or best-effort writers.
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if obj, ok := info.Uses[id]; ok {
+			if pn, ok := obj.(*types.PkgName); ok && pn.Imported().Path() == "fmt" {
+				switch sel.Sel.Name {
+				case "Print", "Printf", "Println":
+					return true
+				case "Fprint", "Fprintf", "Fprintln":
+					return len(call.Args) > 0 && infallibleWriter(info, call.Args[0])
+				}
+				return false
+			}
+		}
+	}
+	// Methods on strings.Builder / bytes.Buffer never return a non-nil
+	// error, and neither does hash.Hash.Write (per the hash package docs).
+	if s, ok := info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+		if isBuilderOrBuffer(s.Recv()) {
+			return true
+		}
+		return sel.Sel.Name == "Write" && isHashHash(s.Recv())
+	}
+	return false
+}
+
+// isHashHash reports whether t's method set carries the hash.Hash contract
+// (Write, Sum, Reset, Size, BlockSize) — identified structurally so the
+// check needs no import of the hash package.
+func isHashHash(t types.Type) bool {
+	ms := types.NewMethodSet(t)
+	if _, ok := t.Underlying().(*types.Interface); !ok {
+		if _, ok := t.(*types.Pointer); !ok {
+			ms = types.NewMethodSet(types.NewPointer(t))
+		}
+	}
+	need := map[string]bool{"Sum": false, "Reset": false, "Size": false, "BlockSize": false}
+	for i := 0; i < ms.Len(); i++ {
+		name := ms.At(i).Obj().Name()
+		if _, ok := need[name]; ok {
+			need[name] = true
+		}
+	}
+	for _, ok := range need {
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// infallibleWriter reports whether the expression is a writer whose Write
+// cannot meaningfully fail for our purposes: an in-memory builder/buffer or
+// the process's own stdout/stderr.
+func infallibleWriter(info *types.Info, e ast.Expr) bool {
+	if tv, ok := info.Types[e]; ok && isBuilderOrBuffer(tv.Type) {
+		return true
+	}
+	if sel, ok := e.(*ast.SelectorExpr); ok {
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if obj, ok := info.Uses[id]; ok {
+				if pn, ok := obj.(*types.PkgName); ok && pn.Imported().Path() == "os" {
+					return sel.Sel.Name == "Stdout" || sel.Sel.Name == "Stderr"
+				}
+			}
+		}
+	}
+	return false
+}
+
+// isBuilderOrBuffer matches strings.Builder and bytes.Buffer (possibly
+// behind a pointer).
+func isBuilderOrBuffer(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	pkg, name := n.Obj().Pkg().Path(), n.Obj().Name()
+	return (pkg == "strings" && name == "Builder") || (pkg == "bytes" && name == "Buffer")
+}
+
+// callName renders a short name for the called function.
+func callName(call *ast.CallExpr) string {
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		if id, ok := f.X.(*ast.Ident); ok {
+			return id.Name + "." + f.Sel.Name
+		}
+		return f.Sel.Name
+	}
+	return "call"
+}

@@ -1,0 +1,134 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// ExhaustiveSwitchAnalyzer flags switch statements over enum-like named
+// integer types (plan.JoinMethod, query.PredKind, optimizer.Algorithm, …)
+// that neither cover every declared constant of the type nor carry a default
+// clause. Adding a new join method or predicate kind must fail loudly in
+// every dispatch site, not silently fall through — the executor returning
+// "unknown plan node" at runtime is exactly the bug class this removes.
+//
+// A type is enum-like when its package declares at least two exported or
+// unexported constants of exactly that type. A `default` clause counts as
+// exhaustive (it is the author's explicit catch-all).
+var ExhaustiveSwitchAnalyzer = &Analyzer{
+	Name: "exhaustiveswitch",
+	Doc:  "flags switches over enum-like integer types missing constants and lacking default",
+	Run:  runExhaustiveSwitch,
+}
+
+func runExhaustiveSwitch(pass *Pass) error {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			tv, ok := info.Types[sw.Tag]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			named, ok := tv.Type.(*types.Named)
+			if !ok {
+				return true
+			}
+			b, ok := named.Underlying().(*types.Basic)
+			if !ok || b.Info()&types.IsInteger == 0 {
+				return true
+			}
+			declared := enumConstants(named)
+			if len(declared) < 2 {
+				return true // not an enum
+			}
+			covered := map[string]bool{}
+			hasDefault := false
+			for _, stmt := range sw.Body.List {
+				cc, ok := stmt.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				if cc.List == nil {
+					hasDefault = true
+					continue
+				}
+				for _, e := range cc.List {
+					for _, id := range constIdents(e) {
+						if obj, ok := info.Uses[id]; ok {
+							if c, ok := obj.(*types.Const); ok && types.Identical(c.Type(), named) {
+								covered[c.Name()] = true
+							}
+						}
+					}
+				}
+			}
+			if hasDefault {
+				return true
+			}
+			var missing []string
+			for _, name := range declared {
+				if !covered[name] {
+					missing = append(missing, name)
+				}
+			}
+			if len(missing) > 0 {
+				pass.Reportf(sw.Switch,
+					"switch on %s is not exhaustive: missing %s (add the cases or a default clause)",
+					named.Obj().Name(), strings.Join(missing, ", "))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// enumConstants lists the names of every constant of exactly type named
+// declared in the type's own package, sorted by constant value then name.
+func enumConstants(named *types.Named) []string {
+	pkg := named.Obj().Pkg()
+	if pkg == nil {
+		return nil
+	}
+	scope := pkg.Scope()
+	type nc struct {
+		name string
+		val  string
+	}
+	var consts []nc
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named.Obj().Type()) {
+			continue
+		}
+		consts = append(consts, nc{name: c.Name(), val: c.Val().ExactString()})
+	}
+	sort.Slice(consts, func(i, j int) bool {
+		if consts[i].val != consts[j].val {
+			return consts[i].val < consts[j].val
+		}
+		return consts[i].name < consts[j].name
+	})
+	out := make([]string, len(consts))
+	for i, c := range consts {
+		out[i] = c.name
+	}
+	return out
+}
+
+// constIdents collects the identifiers of a case expression (the identifier
+// itself, or the selector's field for pkg.Const references).
+func constIdents(e ast.Expr) []*ast.Ident {
+	switch t := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return []*ast.Ident{t}
+	case *ast.SelectorExpr:
+		return []*ast.Ident{t.Sel}
+	}
+	return nil
+}

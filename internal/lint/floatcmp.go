@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// floatCmpPathFragments restricts floatcmp to the packages where float64
+// values are rank/cost quantities whose exact-equality comparison is a
+// correctness hazard (see Hellerstein §4: rank ties decide predicate order,
+// and accumulated float error must not make placement nondeterministic).
+var floatCmpPathFragments = []string{"internal/cost", "internal/optimizer"}
+
+// FloatCmpAnalyzer flags raw ==/!= comparisons (and switch statements) on
+// floating-point expressions in the cost and optimizer packages. Rank and
+// cost values accumulate rounding error across Compose/Annotate, so exact
+// equality is order-dependent noise; comparisons must go through the epsilon
+// helper cost.ApproxEq. Functions whose names begin with Approx/approx are
+// exempt — they are the epsilon helpers themselves.
+var FloatCmpAnalyzer = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "flags ==/!= and switch on float64 in cost/optimizer; use cost.ApproxEq",
+	Run:  runFloatCmp,
+}
+
+func runFloatCmp(pass *Pass) error {
+	if !pathMatchesAny(pass.Pkg.Path, floatCmpPathFragments) {
+		return nil
+	}
+	for _, f := range pass.Pkg.Files {
+		inspectWithStack(f, func(n ast.Node, stack []ast.Node) bool {
+			switch t := n.(type) {
+			case *ast.BinaryExpr:
+				if t.Op != token.EQL && t.Op != token.NEQ {
+					return true
+				}
+				if !isFloat(pass.Pkg.Info, t.X) && !isFloat(pass.Pkg.Info, t.Y) {
+					return true
+				}
+				if name := enclosingFuncName(stack); strings.HasPrefix(strings.ToLower(name), "approx") {
+					return true // the epsilon helper itself
+				}
+				pass.Reportf(t.OpPos,
+					"float %s comparison on rank/cost value; use cost.ApproxEq (epsilon compare) instead", t.Op)
+			case *ast.SwitchStmt:
+				if t.Tag != nil && isFloat(pass.Pkg.Info, t.Tag) {
+					pass.Reportf(t.Switch,
+						"switch on a float expression compares with ==; restructure with cost.ApproxEq")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isFloat reports whether the expression's type is (or has underlying)
+// float32/float64.
+func isFloat(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// pathMatchesAny reports whether the import path contains any fragment.
+func pathMatchesAny(path string, fragments []string) bool {
+	for _, f := range fragments {
+		if strings.Contains(path, f) {
+			return true
+		}
+	}
+	return false
+}

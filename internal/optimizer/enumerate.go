@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"predplace/internal/cost"
 	"predplace/internal/expr"
 	"predplace/internal/plan"
 	"predplace/internal/query"
@@ -149,7 +150,7 @@ func (o *Optimizer) orderedPlans(q *query.Query, order []int,
 			cur = append(cur, sp)
 		}
 		sort.Slice(cur, func(a, b int) bool {
-			if cur[a].cost != cur[b].cost {
+			if !cost.ApproxEq(cur[a].cost, cur[b].cost) {
 				return cur[a].cost < cur[b].cost
 			}
 			return cur[a].order.String() < cur[b].order.String()

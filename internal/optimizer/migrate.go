@@ -204,7 +204,7 @@ func (o *Optimizer) migrateStream(f *FlatPlan, k int) (bool, error) {
 		for s, preds := range byStep {
 			sort.Slice(preds, func(a, b int) bool {
 				ra, rb := o.selRank(preds[a], leafCard), o.selRank(preds[b], leafCard)
-				if ra != rb {
+				if !cost.ApproxEq(ra, rb) {
 					return ra < rb
 				}
 				return preds[a].ID < preds[b].ID
@@ -282,7 +282,7 @@ func (o *Optimizer) migrateStream(f *FlatPlan, k int) (bool, error) {
 			return assign[a].pos < assign[b].pos
 		}
 		ra, rb := o.selRank(assign[a].pred, leafCard), o.selRank(assign[b].pred, leafCard)
-		if ra != rb {
+		if !cost.ApproxEq(ra, rb) {
 			return ra < rb
 		}
 		return assign[a].pred.ID < assign[b].pred.ID

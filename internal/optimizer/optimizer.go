@@ -185,7 +185,7 @@ func (o *Optimizer) orderByRank(preds []*query.Predicate, streamCard float64) []
 	}
 	sort.SliceStable(out, func(i, j int) bool {
 		ri, rj := o.selRank(out[i], streamCard), o.selRank(out[j], streamCard)
-		if ri != rj {
+		if !cost.ApproxEq(ri, rj) {
 			return ri < rj
 		}
 		return out[i].ID < out[j].ID

@@ -6,6 +6,7 @@ import (
 	"math/bits"
 	"sort"
 
+	"predplace/internal/cost"
 	"predplace/internal/expr"
 	"predplace/internal/plan"
 	"predplace/internal/query"
@@ -158,7 +159,7 @@ func (o *Optimizer) prune(cands []*subplan) (kept []*subplan, unpr int) {
 	// column, then buried signature — equal-cost ties always resolve the
 	// same way, so plans are reproducible run to run.
 	sort.Slice(kept, func(i, j int) bool {
-		if kept[i].cost != kept[j].cost {
+		if !cost.ApproxEq(kept[i].cost, kept[j].cost) {
 			return kept[i].cost < kept[j].cost
 		}
 		oi, oj := kept[i].order.String(), kept[j].order.String()

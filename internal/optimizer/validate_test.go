@@ -1,0 +1,45 @@
+package optimizer
+
+import (
+	"testing"
+
+	"predplace/internal/expr"
+	"predplace/internal/plan"
+	"predplace/internal/query"
+)
+
+// TestPlansSatisfyValidate holds every algorithm's output — across join
+// chains, expensive selections, and cheap indexable selections, with and
+// without caching — to plan.Validate's structural invariants. This is the
+// dynamic counterpart of pplint: whatever placement an algorithm picks, the
+// tree it hands the executor must be well-formed.
+func TestPlansSatisfyValidate(t *testing.T) {
+	db := benchDB(t, 1, 3, 10)
+	queries := map[string]*query.Query{
+		"chain3-costly-between-ranks": mkQuery(t, db, []string{"t1", "t3", "t10"}, []*query.Predicate{
+			jp("t1", "ua1", "t3", "ua1"),
+			jp("t3", "ua1", "t10", "ua1"),
+			fp(t, db, "costly100", query.ColRef{Table: "t3", Col: "u20"}),
+		}),
+		"two-costly-plus-cheap": mkQuery(t, db, []string{"t1", "t3"}, []*query.Predicate{
+			jp("t1", "ua1", "t3", "ua1"),
+			fp(t, db, "costly10", query.ColRef{Table: "t1", Col: "u10"}),
+			fp(t, db, "costly100", query.ColRef{Table: "t3", Col: "u20"}),
+			cp("t3", "ua1", expr.OpLT, 50),
+		}),
+	}
+	for name, q := range queries {
+		for _, caching := range []bool{false, true} {
+			for _, algo := range Algorithms() {
+				opt := New(db.Cat, Options{Algorithm: algo, Caching: caching})
+				root, _, err := opt.Plan(q)
+				if err != nil {
+					t.Fatalf("%s/%v caching=%v: Plan: %v", name, algo, caching, err)
+				}
+				if err := plan.Validate(root); err != nil {
+					t.Errorf("%s/%v caching=%v: %v", name, algo, caching, err)
+				}
+			}
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package pcache
 
 import (
+	"sync"
 	"testing"
 
 	"predplace/internal/expr"
@@ -122,5 +123,73 @@ func TestByFunctionSharesAcrossPredicates(t *testing.T) {
 	// A different function does not share.
 	if _, ok := m.Lookup(m.Owner(1, "costly100"), k); ok {
 		t.Fatal("different functions must not share")
+	}
+}
+
+func TestTernaryEntriesDistinct(t *testing.T) {
+	// One table holding all three truth values: each entry must come back
+	// as itself, and all three must be distinguishable from a miss.
+	m := NewManager(true, 0)
+	want := map[string]expr.Value{
+		"kt": expr.B(true),
+		"kf": expr.B(false),
+		"kn": expr.Null,
+	}
+	for k, v := range want {
+		m.Store("p:0", k, v)
+	}
+	for k, v := range want {
+		got, ok := m.Lookup("p:0", k)
+		if !ok {
+			t.Fatalf("stored %s entry reported as a miss", v)
+		}
+		if got.IsNull() != v.IsNull() || (!v.IsNull() && !got.Equal(v)) {
+			t.Fatalf("Lookup(%q) = %s, want %s", k, got, v)
+		}
+	}
+	if _, ok := m.Lookup("p:0", "absent"); ok {
+		t.Fatal("unknown binding must miss")
+	}
+	if _, _, entries := m.Stats(); entries != 3 {
+		t.Fatalf("entries = %d, want 3", entries)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	// The manager guards its tables with a mutex; hammer every method from
+	// many goroutines so `go test -race` proves it. (Execution today is
+	// single-threaded per Env, but the manager's API promises safety.)
+	m := NewManager(true, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			owner := m.Owner(g%3, "costly10")
+			for i := 0; i < 500; i++ {
+				k := Key([]expr.Value{expr.I(int64(i % 16))})
+				switch i % 5 {
+				case 0:
+					m.Store(owner, k, expr.B(i%2 == 0))
+				case 1:
+					m.Store(owner, k, expr.Null)
+				case 2:
+					m.Lookup(owner, k)
+				case 3:
+					m.Stats()
+				default:
+					if i%100 == 4 {
+						m.Reset()
+					} else {
+						m.Lookup(owner, k)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	hits, misses, entries := m.Stats()
+	if hits < 0 || misses < 0 || entries < 0 {
+		t.Fatalf("stats went negative: %d %d %d", hits, misses, entries)
 	}
 }

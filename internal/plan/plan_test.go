@@ -1,6 +1,7 @@
 package plan
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -136,6 +137,138 @@ func TestJoinMethodString(t *testing.T) {
 		if m.String() != s {
 			t.Errorf("%d.String() = %q", m, m.String())
 		}
+	}
+}
+
+func TestValidateAcceptsWellFormed(t *testing.T) {
+	j, _, _, _ := testTree()
+	if err := Validate(j); err != nil {
+		t.Fatalf("Validate(testTree) = %v, want nil", err)
+	}
+}
+
+func TestValidateRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		// build returns a malformed tree derived from testTree.
+		build func() Node
+		want  string // substring of the expected error
+	}{
+		{
+			name: "nil root",
+			build: func() Node {
+				return nil
+			},
+			want: "nil root",
+		},
+		{
+			name: "nil join child",
+			build: func() Node {
+				j, _, _, _ := testTree()
+				j.Inner = nil
+				return j
+			},
+			want: "nil child",
+		},
+		{
+			name: "filter outputs more tuples than its input",
+			build: func() Node {
+				j, f, _, _ := testTree()
+				f.EstCard = 200 // input r has EstCard 100
+				return j
+			},
+			want: "outputs",
+		},
+		{
+			name: "predicate reads a column not produced below it",
+			build: func() Node {
+				j, f, _, _ := testTree()
+				f.Pred.Args = []query.ColRef{{Table: "z", Col: "q"}}
+				return j
+			},
+			want: "not produced below",
+		},
+		{
+			name: "same predicate applied twice on one path",
+			build: func() Node {
+				j, f, r, _ := testTree()
+				dup := &Filter{Input: r, Pred: f.Pred, EstCard: 50, EstCost: 1010}
+				f.Input = dup
+				f.EstCost = 2010
+				j.EstCost = 3000
+				return j
+			},
+			want: "twice",
+		},
+		{
+			name: "negative cost",
+			build: func() Node {
+				j, _, r, _ := testTree()
+				r.EstCost = -1
+				return j
+			},
+			want: "invalid estimated cost",
+		},
+		{
+			name: "NaN cardinality",
+			build: func() Node {
+				j, _, _, s := testTree()
+				s.EstCard = math.NaN()
+				return j
+			},
+			want: "invalid estimated cardinality",
+		},
+		{
+			name: "filter cheaper than its input",
+			build: func() Node {
+				j, f, _, _ := testTree()
+				f.EstCost = 5 // input r costs 10
+				return j
+			},
+			want: "cumulative",
+		},
+		{
+			name: "join output columns out of order",
+			build: func() Node {
+				j, _, _, _ := testTree()
+				j.ColRefs = ConcatCols(j.Inner, j.Outer) // inner++outer: wrong
+				return j
+			},
+			want: "outer++inner",
+		},
+		{
+			name: "unknown join method",
+			build: func() Node {
+				j, _, _, _ := testTree()
+				j.Method = JoinMethod(99)
+				return j
+			},
+			want: "unknown join method",
+		},
+		{
+			name: "nested-loop inner is not a base table",
+			build: func() Node {
+				j, _, _, _ := testTree()
+				inner, _, _, _ := testTree()
+				j.Method = NestLoop
+				j.Inner = inner
+				j.ColRefs = ConcatCols(j.Outer, inner)
+				j.EstCost = 1e6
+				return j
+			},
+			want: "base table",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := Validate(tc.build())
+			if err == nil {
+				t.Fatal("Validate accepted a malformed tree")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Validate error %q does not mention %q", err, tc.want)
+			}
+		})
 	}
 }
 

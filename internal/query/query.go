@@ -273,6 +273,8 @@ func cmpSelectivity(cat *catalog.Catalog, ref ColRef, op expr.CmpOp, v expr.Valu
 				return col.Hist.SelGT(v.I), nil
 			case expr.OpGE:
 				return col.Hist.SelGE(v.I), nil
+			default:
+				// EQ/NE handled above; fall through to the constant.
 			}
 		}
 		if v.Kind == expr.TInt && col.Max > col.Min {
@@ -288,6 +290,8 @@ func cmpSelectivity(cat *catalog.Catalog, ref ColRef, op expr.CmpOp, v expr.Valu
 				return f, nil
 			case expr.OpGT, expr.OpGE:
 				return 1 - f, nil
+			default:
+				// EQ/NE handled above; fall through to the constant.
 			}
 		}
 		return 1.0 / 3.0, nil

@@ -39,6 +39,20 @@ func New(db *predplace.DB) *Session {
 	return &Session{DB: db, Algo: predplace.Migration, MaxRows: 20}
 }
 
+// say writes one line of REPL output. A write failure means the user's
+// terminal (or the test buffer) is gone; the next read ends the session, so
+// the error is deliberately dropped here — and only here.
+func say(w io.Writer, args ...interface{}) {
+	//pplint:ignore errdrop REPL terminal write; session ends on next read anyway
+	fmt.Fprintln(w, args...)
+}
+
+// sayf is say with Printf formatting and no implicit newline.
+func sayf(w io.Writer, format string, args ...interface{}) {
+	//pplint:ignore errdrop REPL terminal write; session ends on next read anyway
+	fmt.Fprintf(w, format, args...)
+}
+
 // Execute handles one input line, writing output to w. It returns false when
 // the session should end.
 func (s *Session) Execute(line string, w io.Writer) bool {
@@ -53,29 +67,29 @@ func (s *Session) Execute(line string, w io.Writer) bool {
 	case strings.HasPrefix(line, `\caching`) || strings.HasPrefix(line, `\cache`):
 		on := strings.HasSuffix(line, "on")
 		s.DB.SetCaching(on)
-		fmt.Fprintln(w, "predicate caching:", on)
+		say(w, "predicate caching:", on)
 	case line == `\tables`:
 		s.cmdTables(w)
 	case strings.HasPrefix(line, `\save `):
 		path := strings.TrimSpace(strings.TrimPrefix(line, `\save `))
 		if err := s.DB.Save(path); err != nil {
-			fmt.Fprintln(w, "error:", err)
+			say(w, "error:", err)
 		} else {
-			fmt.Fprintln(w, "saved to", path)
+			say(w, "saved to", path)
 		}
 	case strings.HasPrefix(line, `\open `):
 		path := strings.TrimSpace(strings.TrimPrefix(line, `\open `))
 		db, err := predplace.OpenFile(path, predplace.Config{})
 		if err != nil {
-			fmt.Fprintln(w, "error:", err)
+			say(w, "error:", err)
 		} else {
 			s.DB = db
-			fmt.Fprintln(w, "opened", path)
+			say(w, "opened", path)
 		}
 	case line == `\funcs`:
 		s.cmdFuncs(w)
 	case line == `\compare` || strings.HasPrefix(line, `\compare `):
-		fmt.Fprintln(w, `usage: \compare is implicit — prefix a query with COMPARE`)
+		say(w, `usage: \compare is implicit — prefix a query with COMPARE`)
 	case line == `\help` || line == `\?`:
 		s.cmdHelp(w)
 	case strings.HasPrefix(strings.ToUpper(line), "COMPARE "):
@@ -83,9 +97,9 @@ func (s *Session) Execute(line string, w io.Writer) bool {
 	case strings.HasPrefix(strings.ToUpper(line), "DELETE"):
 		n, err := s.DB.Exec(line)
 		if err != nil {
-			fmt.Fprintln(w, "error:", err)
+			say(w, "error:", err)
 		} else {
-			fmt.Fprintf(w, "%d rows deleted\n", n)
+			sayf(w, "%d rows deleted\n", n)
 		}
 	default:
 		s.runSQL(line, w)
@@ -94,7 +108,7 @@ func (s *Session) Execute(line string, w io.Writer) bool {
 }
 
 func (s *Session) cmdHelp(w io.Writer) {
-	fmt.Fprint(w, `commands:
+	sayf(w, "%s", `commands:
   \algo <name>      switch placement algorithm
   \caching on|off   toggle predicate caching
   \tables           list relations
@@ -111,7 +125,7 @@ func (s *Session) cmdHelp(w io.Writer) {
 func (s *Session) cmdAlgo(name string, w io.Writer) {
 	if a, ok := AlgoNames[name]; ok {
 		s.Algo = a
-		fmt.Fprintln(w, "algorithm:", a)
+		say(w, "algorithm:", a)
 		return
 	}
 	names := make([]string, 0, len(AlgoNames))
@@ -119,7 +133,7 @@ func (s *Session) cmdAlgo(name string, w io.Writer) {
 		names = append(names, n)
 	}
 	sort.Strings(names)
-	fmt.Fprintln(w, "algorithms:", strings.Join(names, " "))
+	say(w, "algorithms:", strings.Join(names, " "))
 }
 
 func (s *Session) cmdTables(w io.Writer) {
@@ -129,14 +143,14 @@ func (s *Session) cmdTables(w io.Writer) {
 			idx = append(idx, col)
 		}
 		sort.Strings(idx)
-		fmt.Fprintf(w, "  %-10s %10d tuples %8d pages  indexes: %s\n",
+		sayf(w, "  %-10s %10d tuples %8d pages  indexes: %s\n",
 			t.Name, t.Card, t.Pages(), strings.Join(idx, ","))
 	}
 }
 
 func (s *Session) cmdFuncs(w io.Writer) {
 	for _, f := range s.DB.Catalog().Funcs() {
-		fmt.Fprintf(w, "  %s\n", f)
+		sayf(w, "  %s\n", f)
 	}
 }
 
@@ -144,39 +158,39 @@ func (s *Session) cmdCompare(sql string, w io.Writer) {
 	algos := predplace.Algorithms()
 	results, err := s.DB.CompareAll(sql, algos...)
 	if err != nil {
-		fmt.Fprintln(w, "error:", err)
+		say(w, "error:", err)
 		return
 	}
-	fmt.Fprint(w, predplace.FormatComparison(algos, results))
+	sayf(w, "%s", predplace.FormatComparison(algos, results))
 }
 
 func (s *Session) runSQL(sql string, w io.Writer) {
 	res, err := s.DB.Query(sql, s.Algo)
 	if err != nil {
-		fmt.Fprintln(w, "error:", err)
+		say(w, "error:", err)
 		return
 	}
 	if res.Explained {
-		fmt.Fprint(w, res.Plan)
-		fmt.Fprintf(w, "estimated cost: %.0f (plans retained %d, planning %v)\n",
+		sayf(w, "%s", res.Plan)
+		sayf(w, "estimated cost: %.0f (plans retained %d, planning %v)\n",
 			res.EstCost, res.Info.PlansRetained, res.Info.Elapsed)
 		return
 	}
 	if res.DNF {
-		fmt.Fprintln(w, "aborted: charged-cost budget exceeded")
+		say(w, "aborted: charged-cost budget exceeded")
 		return
 	}
-	fmt.Fprintln(w, strings.Join(res.Cols, " | "))
+	say(w, strings.Join(res.Cols, " | "))
 	for i, row := range res.Rows {
 		if i == s.MaxRows {
-			fmt.Fprintf(w, "… (%d more rows)\n", len(res.Rows)-s.MaxRows)
+			sayf(w, "… (%d more rows)\n", len(res.Rows)-s.MaxRows)
 			break
 		}
 		cells := make([]string, len(row))
 		for k, v := range row {
 			cells[k] = v.String()
 		}
-		fmt.Fprintln(w, strings.Join(cells, " | "))
+		say(w, strings.Join(cells, " | "))
 	}
-	fmt.Fprintf(w, "%d rows; %s\n", res.Stats.Rows, res.Stats)
+	sayf(w, "%d rows; %s\n", res.Stats.Rows, res.Stats)
 }

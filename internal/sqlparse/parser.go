@@ -334,6 +334,7 @@ func (p *parser) operand() (Operand, error) {
 			return Operand{}, err
 		}
 		return Operand{IsCol: true, Col: c}, nil
+	default:
+		return Operand{}, fmt.Errorf("sqlparse: unexpected token %s", t)
 	}
-	return Operand{}, fmt.Errorf("sqlparse: unexpected token %s", t)
 }

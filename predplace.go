@@ -19,6 +19,7 @@ package predplace
 
 import (
 	"fmt"
+	"os"
 	"sort"
 	"strings"
 	"sync/atomic"
@@ -408,6 +409,14 @@ func (d *DB) plan(sql string, algo Algorithm) (plan.Node, *sqlparse.Bound, *opti
 	root, info, err := opt.Plan(bound.Query)
 	if err != nil {
 		return nil, nil, nil, err
+	}
+	// With PPLINT_VALIDATE=1 every planned tree — whether it is about to be
+	// executed, explained, or compared — is held to plan.Validate's
+	// invariants before leaving the planner.
+	if os.Getenv("PPLINT_VALIDATE") == "1" {
+		if err := plan.Validate(root); err != nil {
+			return nil, nil, nil, fmt.Errorf("predplace: %s produced an invalid plan: %w", algo, err)
+		}
 	}
 	return root, bound, info, nil
 }

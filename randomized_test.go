@@ -63,6 +63,10 @@ func canonRows(res *predplace.Result) []string {
 }
 
 func TestRandomizedAlgorithmAgreement(t *testing.T) {
+	// Hold every planned tree to plan.Validate's invariants (the facade and
+	// executor check it when this is set) — malformed plans fail loudly here
+	// instead of surfacing as subtly wrong rows.
+	t.Setenv("PPLINT_VALIDATE", "1")
 	db, err := predplace.Open(predplace.Config{Scale: 0.01, Tables: []int{1, 2, 3}})
 	if err != nil {
 		t.Fatal(err)
