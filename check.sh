@@ -17,4 +17,13 @@ go build ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
+echo "==> bench smoke (go test -bench Fig3 -benchtime 1x)"
+go test -run '^$' -bench Fig3 -benchtime 1x .
+
+echo "==> parallel-executor gate (ppbench -parallel)"
+# Runs Queries 1-5 serially and with 4-way parallelism on one database;
+# exits nonzero if the parallel executor's result sets or charged cost
+# (caching off) diverge from serial.
+go run ./cmd/ppbench -parallel -workers 4 -json -scale 0.02
+
 echo "OK"

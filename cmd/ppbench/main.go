@@ -5,16 +5,24 @@
 // Usage:
 //
 //	ppbench [-scale 0.1] [-exp all|table1|table2|fig1|fig3|fig4|fig5|fig6|fig8|fig9|fig10|plantime|caching]
+//	ppbench -parallel [-workers N] [-json] [-scale 0.1]
 //
 // Measurements are charged costs in random-I/O units (page I/Os plus
 // function invocations × per-call cost — the paper's methodology), reported
 // relative to the best plan per query.
+//
+// With -parallel, Queries 1–5 run serially and with N-way intra-query
+// parallelism on the same database (Migration plans, caching off), comparing
+// wall time, result sets, and charged cost; -json additionally writes
+// BENCH_parallel.json. Exits nonzero if the parallel executor's results or
+// charged cost diverge from serial.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 
@@ -25,10 +33,18 @@ func main() {
 	scale := flag.Float64("scale", 0.1, "database scale factor (1.0 = the paper's ~110 MB)")
 	exp := flag.String("exp", "all", "experiment id or 'all'")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	parallel := flag.Bool("parallel", false, "run the serial-vs-parallel execution bench instead of the figures")
+	workers := flag.Int("workers", 0, "parallel worker fan-out (0 = max(4, GOMAXPROCS))")
+	jsonOut := flag.Bool("json", false, "with -parallel, also write BENCH_parallel.json")
 	flag.Parse()
 
 	if *list {
 		fmt.Println("experiments: all", strings.Join(experimentIDs(), " "))
+		return
+	}
+
+	if *parallel {
+		runParallelBench(*scale, *workers, *jsonOut)
 		return
 	}
 
@@ -63,6 +79,42 @@ func main() {
 	}
 	fmt.Printf("%d/%d experiments reproduced the paper's shape\n", len(reports)-failed, len(reports))
 	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// runParallelBench executes the serial-vs-parallel comparison and exits
+// nonzero when the parallel executor diverges from the serial one.
+func runParallelBench(scale float64, workers int, jsonOut bool) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+		if workers < 4 {
+			// Exercise the parallel operators even on small machines; extra
+			// workers beyond the core count still validate correctness.
+			workers = 4
+		}
+	}
+	fmt.Fprintf(os.Stderr, "building benchmark database at scale %.3f (%d workers)…\n", scale, workers)
+	h, err := harness.NewParallel(scale, workers)
+	if err != nil {
+		fatal(err)
+	}
+	bench, err := h.RunParallelBench(workers)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(bench)
+	if jsonOut {
+		data, err := bench.JSON()
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile("BENCH_parallel.json", append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "wrote BENCH_parallel.json")
+	}
+	if !bench.Pass {
 		os.Exit(1)
 	}
 }

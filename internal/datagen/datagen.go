@@ -55,6 +55,9 @@ type Config struct {
 	// (≈1/8 of the data pages, min 64), echoing the paper's 32 MB host
 	// against a 110 MB database.
 	PoolPages int
+	// PoolShards stripes the buffer pool into independently locked shards
+	// for parallel execution (0 or 1 = the single classic LRU pool).
+	PoolShards int
 	// Seed perturbs the value permutations.
 	Seed int64
 }
@@ -89,9 +92,13 @@ func Build(cfg Config) (*DB, error) {
 
 	acct := &storage.Accountant{}
 	disk := storage.NewDisk(acct)
+	shards := cfg.PoolShards
+	if shards < 1 {
+		shards = 1
+	}
 	db := &DB{
 		Disk: disk,
-		Pool: storage.NewBufferPool(disk, pool),
+		Pool: storage.NewShardedBufferPool(disk, pool, shards),
 		Cat:  catalog.New(),
 	}
 	if err := RegisterStandardFuncs(db.Cat); err != nil {

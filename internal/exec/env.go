@@ -3,13 +3,24 @@
 // optional predicate caching, counts user-defined function invocations, and
 // reports the paper's measurement: charged cost = physical page I/Os +
 // synthetic spill I/Os + Σ (invocations × per-call cost).
+//
+// With Env.Parallelism > 1 the engine adds intra-query parallelism: heap
+// scans are range-partitioned across workers (an exchange operator),
+// expensive filters evaluate predicates on a bounded worker pool, and hash
+// joins build and probe hash-partitioned tables in parallel. Charged-cost
+// accounting is parallelism-invariant: page I/O, spill, and invocation
+// counters are atomic and tuple-exact, so with predicate caching off a
+// parallel run charges bit-for-bit what the serial run charges.
 package exec
 
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"predplace/internal/catalog"
+	"predplace/internal/cost"
 	"predplace/internal/pcache"
 	"predplace/internal/plan"
 	"predplace/internal/storage"
@@ -20,8 +31,9 @@ import (
 // space and never completed" for Query 5.
 var ErrBudgetExceeded = errors.New("exec: charged-cost budget exceeded")
 
-// Env is the execution context of one query. An Env is not safe for
-// concurrent use; run one query at a time per Env.
+// Env is the execution context of one query. Run one query at a time per
+// Env; within a query, the engine's own parallel operators may consume the
+// Env from multiple goroutines (its accounting is concurrency-safe).
 type Env struct {
 	// Cat resolves tables and functions.
 	Cat *catalog.Catalog
@@ -35,10 +47,30 @@ type Env struct {
 	Budget float64
 	// CountOnly discards result rows, keeping only the count.
 	CountOnly bool
+	// Parallelism caps the worker fan-out of parallel operators (exchange
+	// scans, parallel filters, partitioned hash joins). 0 or 1 executes
+	// the classic serial Volcano tree — the default, which reproduces the
+	// paper's figures byte-for-byte.
+	Parallelism int
 
-	baseIO      storage.IOStats
+	baseIO storage.IOStats
+	// syntheticIO accumulates bulk synthetic charges (external-sort spill);
+	// spillTuples counts per-tuple hash-partition charges so their total is
+	// a single count×constant product — identical in any evaluation order.
+	syntheticMu sync.Mutex
 	syntheticIO float64
-	trace       map[plan.Node]*int64
+	spillTuples atomic.Int64
+
+	traceMu sync.Mutex
+	trace   map[plan.Node]*int64
+}
+
+// workers returns the effective parallel fan-out (1 = serial).
+func (e *Env) workers() int {
+	if e.Parallelism > 1 {
+		return e.Parallelism
+	}
+	return 1
 }
 
 // begin snapshots counters at query start. The buffer pool is flushed so
@@ -55,19 +87,38 @@ func (e *Env) begin() error {
 	}
 	e.baseIO = e.Acct.Stats()
 	e.syntheticIO = 0
+	e.spillTuples.Store(0)
 	e.trace = map[plan.Node]*int64{}
 	return nil
 }
 
 // ChargeSynthetic adds simulated spill I/O (external sort runs, hash
 // partitions) in random-I/O units.
-func (e *Env) ChargeSynthetic(units float64) { e.syntheticIO += units }
+func (e *Env) ChargeSynthetic(units float64) {
+	e.syntheticMu.Lock()
+	e.syntheticIO += units
+	e.syntheticMu.Unlock()
+}
+
+// ChargeSpillTuple charges one tuple's worth of Grace-hash partition spill.
+// The charge is a counter, not a float accumulation, so the total is exact
+// and independent of the order parallel workers charge it in.
+func (e *Env) ChargeSpillTuple() { e.spillTuples.Add(1) }
+
+// synthetic returns the synthetic I/O charged so far.
+func (e *Env) synthetic() float64 {
+	e.syntheticMu.Lock()
+	bulk := e.syntheticIO
+	e.syntheticMu.Unlock()
+	return bulk + float64(e.spillTuples.Load())*cost.HashSpillPerTuple
+}
 
 // Charged returns the charged cost so far: page I/Os since begin plus
-// synthetic I/O plus function-invocation charges.
+// synthetic I/O plus function-invocation charges. Safe to call from
+// parallel workers.
 func (e *Env) Charged() float64 {
 	io := e.Acct.Stats().Sub(e.baseIO)
-	return float64(io.Total()) + e.syntheticIO + e.Cat.ChargedFuncCost()
+	return float64(io.Total()) + e.synthetic() + e.Cat.ChargedFuncCost()
 }
 
 // checkBudget returns ErrBudgetExceeded when past the budget.
@@ -76,6 +127,21 @@ func (e *Env) checkBudget() error {
 		return ErrBudgetExceeded
 	}
 	return nil
+}
+
+// nodeCounter returns the per-node row counter for EXPLAIN ANALYZE,
+// creating it on first use. Safe for concurrent Build calls (nested-loop
+// joins rebuild their inner subtree mid-query, possibly from a parallel
+// operator's worker goroutine).
+func (e *Env) nodeCounter(n plan.Node) *int64 {
+	e.traceMu.Lock()
+	defer e.traceMu.Unlock()
+	counter, ok := e.trace[n]
+	if !ok {
+		counter = new(int64)
+		e.trace[n] = counter
+	}
+	return counter
 }
 
 // Stats reports the resources consumed by one executed query.
@@ -125,7 +191,7 @@ func (e *Env) finish(rows int) Stats {
 	}
 	return Stats{
 		IO:           e.Acct.Stats().Sub(e.baseIO),
-		SyntheticIO:  e.syntheticIO,
+		SyntheticIO:  e.synthetic(),
 		FuncCharge:   charge,
 		Invocations:  inv,
 		CacheHits:    hits,

@@ -3,6 +3,7 @@ package exec
 import (
 	"fmt"
 
+	"predplace/internal/btree"
 	"predplace/internal/catalog"
 	"predplace/internal/expr"
 	"predplace/internal/plan"
@@ -29,12 +30,7 @@ func Build(e *Env, n plan.Node) (Iterator, error) {
 		return nil, err
 	}
 	if e.trace != nil {
-		counter, ok := e.trace[n]
-		if !ok {
-			counter = new(int64)
-			e.trace[n] = counter
-		}
-		return &countIter{in: it, rows: counter}, nil
+		return &countIter{in: it, rows: e.nodeCounter(n)}, nil
 	}
 	return it, nil
 }
@@ -42,6 +38,9 @@ func Build(e *Env, n plan.Node) (Iterator, error) {
 func build(e *Env, n plan.Node) (Iterator, error) {
 	switch t := n.(type) {
 	case *plan.SeqScan:
+		if e.workers() > 1 {
+			return newParallelSeqScan(e, t)
+		}
 		return newSeqScan(e, t)
 	case *plan.IndexScan:
 		return newIndexScan(e, t)
@@ -53,6 +52,9 @@ func build(e *Env, n plan.Node) (Iterator, error) {
 		cp, err := compilePred(t.Pred, t.Input.Cols())
 		if err != nil {
 			return nil, err
+		}
+		if e.workers() > 1 && t.Pred.IsExpensive() {
+			return newParallelFilter(e, in, cp), nil
 		}
 		return &filterIter{e: e, in: in, pred: cp}, nil
 	case *plan.Join:
@@ -115,13 +117,18 @@ func (s *seqScanIter) Close() error {
 }
 
 // indexScanIter drives a B-tree equality or range scan, fetching matching
-// heap tuples (random I/O per fetch).
+// heap tuples (random I/O per fetch). Equality probes materialize the
+// (typically small) TID list the B-tree returns; range scans stream from
+// the B-tree's leaf iterator lazily, so a wide range never materializes
+// every TID up front. Close releases both.
 type indexScanIter struct {
-	e    *Env
-	node *plan.IndexScan
-	tab  *catalog.Table
-	tids []storage.TID
-	pos  int
+	e     *Env
+	node  *plan.IndexScan
+	tab   *catalog.Table
+	tids  []storage.TID
+	pos   int
+	rng   *btree.Iter
+	count int
 }
 
 func newIndexScan(e *Env, s *plan.IndexScan) (Iterator, error) {
@@ -137,8 +144,9 @@ func newIndexScan(e *Env, s *plan.IndexScan) (Iterator, error) {
 
 func (s *indexScanIter) Open() error {
 	tree := s.tab.Indexes[s.node.Col]
-	s.tids = s.tids[:0]
-	s.pos = 0
+	s.tids = nil
+	s.pos, s.count = 0, 0
+	s.rng = nil
 	switch {
 	case s.node.Eq != nil:
 		if s.node.Eq.Kind != expr.TInt {
@@ -154,25 +162,33 @@ func (s *indexScanIter) Open() error {
 		if s.node.Hi != nil {
 			hi = s.node.Hi.I
 		}
-		it := tree.Range(lo, hi)
-		for {
-			ent, ok := it.Next()
-			if !ok {
-				break
-			}
-			s.tids = append(s.tids, ent.TID)
-		}
+		s.rng = tree.Range(lo, hi)
 	}
 	return nil
 }
 
-func (s *indexScanIter) Next() (expr.Row, bool, error) {
+// nextTID yields the next matching TID: from the probe result for equality
+// scans, streamed from the B-tree leaf chain for range scans.
+func (s *indexScanIter) nextTID() (storage.TID, bool) {
+	if s.rng != nil {
+		ent, ok := s.rng.Next()
+		return ent.TID, ok
+	}
 	if s.pos >= len(s.tids) {
-		return nil, false, nil
+		return storage.TID{}, false
 	}
 	tid := s.tids[s.pos]
 	s.pos++
-	if s.pos%1024 == 0 {
+	return tid, true
+}
+
+func (s *indexScanIter) Next() (expr.Row, bool, error) {
+	tid, ok := s.nextTID()
+	if !ok {
+		return nil, false, nil
+	}
+	s.count++
+	if s.count%1024 == 0 {
 		if err := s.e.checkBudget(); err != nil {
 			return nil, false, err
 		}
@@ -188,7 +204,12 @@ func (s *indexScanIter) Next() (expr.Row, bool, error) {
 	return row, true, nil
 }
 
-func (s *indexScanIter) Close() error { return nil }
+func (s *indexScanIter) Close() error {
+	s.tids = nil
+	s.rng = nil
+	s.pos = 0
+	return nil
+}
 
 // filterIter applies one predicate, dropping rows that fail it.
 type filterIter struct {

@@ -19,6 +19,9 @@ func buildJoin(e *Env, j *plan.Join) (Iterator, error) {
 	case plan.IndexNestLoop:
 		return newIndexNLJoin(e, j)
 	case plan.HashJoin:
+		if e.workers() > 1 {
+			return newParallelHashJoin(e, j)
+		}
 		return newHashJoin(e, j)
 	case plan.MergeJoin:
 		return newMergeJoin(e, j)
@@ -298,7 +301,7 @@ func (h *hashJoinIter) Open() error {
 		if !ok {
 			break
 		}
-		h.e.ChargeSynthetic(cost.HashSpillPerTuple)
+		h.e.ChargeSpillTuple()
 		v := row[h.inIdx]
 		if v.IsNull() {
 			continue
@@ -325,7 +328,7 @@ func (h *hashJoinIter) Next() (expr.Row, bool, error) {
 			if err != nil || !ok {
 				return nil, false, err
 			}
-			h.e.ChargeSynthetic(cost.HashSpillPerTuple)
+			h.e.ChargeSpillTuple()
 			h.outRow, h.haveOut, h.pos = row, true, 0
 			v := row[h.outIdx]
 			if v.IsNull() {

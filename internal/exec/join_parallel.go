@@ -1,0 +1,230 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"predplace/internal/expr"
+	"predplace/internal/plan"
+)
+
+// hashPartition maps an encoded join key to one of w partitions (FNV-1a).
+// Build and probe must agree on this mapping.
+func hashPartition(key string, w int) int {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return int(h % uint64(w))
+}
+
+// parallelHashJoinIter is the partitioned parallel hash join: the inner
+// input is hash-partitioned by join key across W builder goroutines, each
+// owning a private hash table, so the build runs without shared-map locking;
+// then W probe workers stream batches of outer rows, each probing whichever
+// partition a row's key hashes to (partition tables are read-only by then).
+// Spill accounting mirrors the serial hash join exactly: one per-tuple
+// charge for every inner and every outer row, counted atomically, so the
+// charged cost is identical to the serial operator's.
+type parallelHashJoinIter struct {
+	e      *Env
+	node   *plan.Join
+	outer  Iterator
+	inner  Iterator
+	outIdx int
+	inIdx  int
+	parts  []map[string][]expr.Row
+	tasks  chan []expr.Row
+	fan    fanIn
+}
+
+func newParallelHashJoin(e *Env, j *plan.Join) (Iterator, error) {
+	if j.Primary != nil && j.Primary.IsExpensive() {
+		return nil, fmt.Errorf("exec: hash join cannot use an expensive primary predicate")
+	}
+	outer, err := Build(e, j.Outer)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := Build(e, j.Inner)
+	if err != nil {
+		return nil, err
+	}
+	oi, ii, err := joinKeyIdx(j.Primary, j.Outer, j.Inner)
+	if err != nil {
+		return nil, err
+	}
+	return &parallelHashJoinIter{e: e, node: j, outer: outer, inner: inner, outIdx: oi, inIdx: ii}, nil
+}
+
+func (h *parallelHashJoinIter) Open() error {
+	if err := h.inner.Open(); err != nil {
+		return err
+	}
+	w := h.e.workers()
+	h.parts = make([]map[string][]expr.Row, w)
+	build := make([]chan []expr.Row, w)
+	for i := range build {
+		h.parts[i] = make(map[string][]expr.Row)
+		build[i] = make(chan []expr.Row, 2)
+	}
+	var bwg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		bwg.Add(1)
+		go func(i int) {
+			defer bwg.Done()
+			m := h.parts[i]
+			for rows := range build[i] {
+				for _, row := range rows {
+					k := string(row[h.inIdx].AppendKey(nil))
+					m[k] = append(m[k], row)
+				}
+			}
+		}(i)
+	}
+	berr := h.routeBuild(build, w)
+	for i := range build {
+		close(build[i])
+	}
+	bwg.Wait()
+	if berr != nil {
+		return berr
+	}
+	if err := h.inner.Close(); err != nil {
+		return err
+	}
+	if err := h.outer.Open(); err != nil {
+		return err
+	}
+	h.fan.init(w)
+	h.tasks = make(chan []expr.Row, w)
+	h.fan.wg.Add(1)
+	go h.routeProbe()
+	for i := 0; i < w; i++ {
+		h.fan.wg.Add(1)
+		go h.probeWorker()
+	}
+	h.fan.goCloser()
+	return nil
+}
+
+// routeBuild drains the inner input, charging spill per tuple (null keys
+// included, matching the serial operator) and routing non-null rows to the
+// builder that owns their partition.
+func (h *parallelHashJoinIter) routeBuild(build []chan []expr.Row, w int) error {
+	pend := make([][]expr.Row, w)
+	count := 0
+	for {
+		row, ok, err := h.inner.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		h.e.ChargeSpillTuple()
+		count++
+		if count%1024 == 0 {
+			if err := h.e.checkBudget(); err != nil {
+				return err
+			}
+		}
+		v := row[h.inIdx]
+		if v.IsNull() {
+			continue
+		}
+		p := hashPartition(string(v.AppendKey(nil)), w)
+		pend[p] = append(pend[p], row)
+		if len(pend[p]) == parallelBatch {
+			build[p] <- pend[p]
+			pend[p] = nil
+		}
+	}
+	for p, rows := range pend {
+		if len(rows) > 0 {
+			build[p] <- rows
+		}
+	}
+	return nil
+}
+
+// routeProbe drains the outer input, charging spill per tuple, and hands
+// batches to the probe workers.
+func (h *parallelHashJoinIter) routeProbe() {
+	defer h.fan.wg.Done()
+	defer close(h.tasks)
+	buf := make([]expr.Row, 0, parallelBatch)
+	count := 0
+	for {
+		row, ok, err := h.outer.Next()
+		if err != nil {
+			h.fan.send(rowBatch{err: err})
+			return
+		}
+		if !ok {
+			break
+		}
+		h.e.ChargeSpillTuple()
+		count++
+		if count%1024 == 0 {
+			if err := h.e.checkBudget(); err != nil {
+				h.fan.send(rowBatch{err: err})
+				return
+			}
+		}
+		buf = append(buf, row)
+		if len(buf) == parallelBatch {
+			select {
+			case h.tasks <- buf:
+			case <-h.fan.stop:
+				return
+			}
+			buf = make([]expr.Row, 0, parallelBatch)
+		}
+	}
+	if len(buf) > 0 {
+		select {
+		case h.tasks <- buf:
+		case <-h.fan.stop:
+		}
+	}
+}
+
+// probeWorker probes the read-only partition tables with each outer row in
+// its batches, emitting concatenated matches.
+func (h *parallelHashJoinIter) probeWorker() {
+	defer h.fan.wg.Done()
+	w := len(h.parts)
+	for batch := range h.tasks {
+		var out []expr.Row
+		for _, row := range batch {
+			v := row[h.outIdx]
+			if v.IsNull() {
+				continue
+			}
+			k := string(v.AppendKey(nil))
+			for _, irow := range h.parts[hashPartition(k, w)][k] {
+				out = append(out, row.Concat(irow))
+			}
+		}
+		if len(out) > 0 {
+			if !h.fan.send(rowBatch{rows: out}) {
+				return
+			}
+		}
+	}
+}
+
+func (h *parallelHashJoinIter) Next() (expr.Row, bool, error) {
+	if h.fan.out == nil {
+		return nil, false, fmt.Errorf("exec: Next before Open on parallel HashJoin")
+	}
+	return h.fan.next()
+}
+
+func (h *parallelHashJoinIter) Close() error {
+	h.fan.shutdown()
+	return errors.Join(h.outer.Close(), h.inner.Close())
+}

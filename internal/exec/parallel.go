@@ -1,0 +1,323 @@
+package exec
+
+// Intra-query parallel operators (Env.Parallelism > 1): an exchange that
+// range-partitions a heap scan across workers, and a filter that evaluates
+// an expensive predicate on a bounded worker pool. Both deliver rows to the
+// consumer through a fan-in channel in batches; row order is not preserved
+// (the serial Volcano tree, the default, is untouched). Charged cost is
+// parallelism-invariant: every page is read once per scan pass and every
+// row is evaluated exactly once, on atomic counters — only wall-clock time
+// changes. With predicate caching ON, concurrent misses on one binding may
+// invoke the function more than once (each invocation is still counted);
+// see DESIGN.md §11.
+
+import (
+	"fmt"
+	"sync"
+
+	"predplace/internal/catalog"
+	"predplace/internal/expr"
+	"predplace/internal/plan"
+)
+
+// parallelBatch is the number of rows grouped per channel send, amortizing
+// synchronization across the pipeline.
+const parallelBatch = 64
+
+// rowBatch is one channel message from a parallel worker: rows, or a
+// terminal error.
+type rowBatch struct {
+	rows []expr.Row
+	err  error
+}
+
+// fanIn is the consumer side shared by all parallel operators: workers send
+// rowBatches into out; the single consumer drains them via next. shutdown
+// tears the pipeline down without leaking goroutines.
+type fanIn struct {
+	out     chan rowBatch
+	stop    chan struct{}
+	stopped sync.Once
+	wg      sync.WaitGroup
+	cur     []expr.Row
+	pos     int
+	done    bool
+}
+
+// init sizes the fan-in channels; buffers is the channel capacity in
+// batches.
+func (f *fanIn) init(buffers int) {
+	f.out = make(chan rowBatch, buffers)
+	f.stop = make(chan struct{})
+	f.cur, f.pos, f.done = nil, 0, false
+}
+
+// goCloser spawns the goroutine that closes out once every producer
+// registered on wg has finished. Call after all wg.Add calls.
+func (f *fanIn) goCloser() {
+	go func() {
+		f.wg.Wait()
+		close(f.out)
+	}()
+}
+
+// send delivers a batch unless the consumer has shut down; reports whether
+// the batch was accepted.
+func (f *fanIn) send(b rowBatch) bool {
+	select {
+	case f.out <- b:
+		return true
+	case <-f.stop:
+		return false
+	}
+}
+
+// next yields the next row produced by the workers (order unspecified).
+func (f *fanIn) next() (expr.Row, bool, error) {
+	for {
+		if f.pos < len(f.cur) {
+			row := f.cur[f.pos]
+			f.pos++
+			return row, true, nil
+		}
+		if f.done {
+			return nil, false, nil
+		}
+		b, ok := <-f.out
+		if !ok {
+			f.done = true
+			return nil, false, nil
+		}
+		if b.err != nil {
+			f.done = true
+			return nil, false, b.err
+		}
+		f.cur, f.pos = b.rows, 0
+	}
+}
+
+// shutdown signals the workers to stop, drains the output channel so
+// blocked senders unblock, and waits for every goroutine to exit. Safe to
+// call more than once, and a no-op if the operator was never opened.
+func (f *fanIn) shutdown() {
+	if f.out == nil {
+		return
+	}
+	f.stopped.Do(func() { close(f.stop) })
+	for range f.out {
+		// discard in-flight batches until the closer closes the channel
+	}
+	f.wg.Wait()
+}
+
+// parallelScanIter is the exchange operator over a heap scan: the file's
+// pages are split into one contiguous range per worker, each worker scans
+// and decodes its range independently, and decoded rows fan in to the
+// consumer. Every page is still read exactly once, so physical I/O matches
+// the serial scan (the sequential/random split may shift — the charged
+// total does not).
+type parallelScanIter struct {
+	e   *Env
+	tab *catalog.Table
+	fan fanIn
+}
+
+func newParallelSeqScan(e *Env, s *plan.SeqScan) (Iterator, error) {
+	tab, err := e.Cat.Table(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	if tab.Heap == nil || tab.Codec == nil {
+		return nil, fmt.Errorf("exec: table %s has no storage", s.Table)
+	}
+	return &parallelScanIter{e: e, tab: tab}, nil
+}
+
+func (s *parallelScanIter) Open() error {
+	n := s.tab.Heap.NumPages()
+	w := s.e.workers()
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	s.fan.init(w * 2)
+	base, extra := n/w, n%w
+	start := 0
+	for i := 0; i < w; i++ {
+		size := base
+		if i < extra {
+			size++
+		}
+		lo, hi := start, start+size
+		start = hi
+		s.fan.wg.Add(1)
+		go s.scanPartition(lo, hi)
+	}
+	s.fan.goCloser()
+	return nil
+}
+
+// scanPartition scans pages [lo, hi), decoding rows and batching them to
+// the consumer.
+func (s *parallelScanIter) scanPartition(lo, hi int) {
+	defer s.fan.wg.Done()
+	it := s.tab.Heap.ScanRange(lo, hi)
+	defer it.Close()
+	buf := make([]expr.Row, 0, parallelBatch)
+	count := 0
+	for {
+		rec, _, ok, err := it.Next()
+		if err != nil {
+			s.fan.send(rowBatch{err: err})
+			return
+		}
+		if !ok {
+			break
+		}
+		count++
+		if count%1024 == 0 {
+			if err := s.e.checkBudget(); err != nil {
+				s.fan.send(rowBatch{err: err})
+				return
+			}
+		}
+		row, err := s.tab.Codec.Decode(rec)
+		if err != nil {
+			s.fan.send(rowBatch{err: err})
+			return
+		}
+		buf = append(buf, row)
+		if len(buf) == parallelBatch {
+			if !s.fan.send(rowBatch{rows: buf}) {
+				return
+			}
+			buf = make([]expr.Row, 0, parallelBatch)
+		}
+	}
+	if len(buf) > 0 {
+		s.fan.send(rowBatch{rows: buf})
+	}
+}
+
+func (s *parallelScanIter) Next() (expr.Row, bool, error) {
+	if s.fan.out == nil {
+		return nil, false, fmt.Errorf("exec: Next before Open on SeqScan(%s)", s.tab.Name)
+	}
+	return s.fan.next()
+}
+
+func (s *parallelScanIter) Close() error {
+	s.fan.shutdown()
+	return nil
+}
+
+// parallelFilterIter evaluates one expensive predicate on a bounded worker
+// pool: a router drains the input into batches and the workers evaluate the
+// predicate concurrently, so costly invocations overlap. Each input row is
+// evaluated exactly once, keeping invocation counts (and charged cost, with
+// caching off) identical to the serial filter.
+type parallelFilterIter struct {
+	e     *Env
+	in    Iterator
+	pred  *compiledPred
+	tasks chan []expr.Row
+	fan   fanIn
+}
+
+func newParallelFilter(e *Env, in Iterator, cp *compiledPred) Iterator {
+	return &parallelFilterIter{e: e, in: in, pred: cp}
+}
+
+func (f *parallelFilterIter) Open() error {
+	if err := f.in.Open(); err != nil {
+		return err
+	}
+	w := f.e.workers()
+	f.fan.init(w)
+	f.tasks = make(chan []expr.Row, w)
+	f.fan.wg.Add(1)
+	go f.route()
+	for i := 0; i < w; i++ {
+		f.fan.wg.Add(1)
+		go f.evalWorker()
+	}
+	f.fan.goCloser()
+	return nil
+}
+
+// route drains the input serially and hands batches to the worker pool.
+func (f *parallelFilterIter) route() {
+	defer f.fan.wg.Done()
+	defer close(f.tasks)
+	buf := make([]expr.Row, 0, parallelBatch)
+	for {
+		row, ok, err := f.in.Next()
+		if err != nil {
+			f.fan.send(rowBatch{err: err})
+			return
+		}
+		if !ok {
+			break
+		}
+		buf = append(buf, row)
+		if len(buf) == parallelBatch {
+			select {
+			case f.tasks <- buf:
+			case <-f.fan.stop:
+				return
+			}
+			buf = make([]expr.Row, 0, parallelBatch)
+		}
+	}
+	if len(buf) > 0 {
+		select {
+		case f.tasks <- buf:
+		case <-f.fan.stop:
+		}
+	}
+}
+
+// evalWorker applies the predicate to each batch, forwarding passing rows.
+func (f *parallelFilterIter) evalWorker() {
+	defer f.fan.wg.Done()
+	count := 0
+	for batch := range f.tasks {
+		out := batch[:0]
+		for _, row := range batch {
+			count++
+			if count%32 == 0 {
+				if err := f.e.checkBudget(); err != nil {
+					f.fan.send(rowBatch{err: err})
+					return
+				}
+			}
+			pass, err := f.pred.holds(f.e, row)
+			if err != nil {
+				f.fan.send(rowBatch{err: err})
+				return
+			}
+			if pass {
+				out = append(out, row)
+			}
+		}
+		if len(out) > 0 {
+			if !f.fan.send(rowBatch{rows: out}) {
+				return
+			}
+		}
+	}
+}
+
+func (f *parallelFilterIter) Next() (expr.Row, bool, error) {
+	if f.fan.out == nil {
+		return nil, false, fmt.Errorf("exec: Next before Open on parallel Filter")
+	}
+	return f.fan.next()
+}
+
+func (f *parallelFilterIter) Close() error {
+	f.fan.shutdown()
+	return f.in.Close()
+}

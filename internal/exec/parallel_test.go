@@ -1,0 +1,158 @@
+package exec
+
+import (
+	"testing"
+
+	"predplace/internal/expr"
+	"predplace/internal/plan"
+	"predplace/internal/query"
+)
+
+// runSerialAndParallel executes root twice on the same Env — serially, then
+// with 4 workers — and returns both results.
+func runSerialAndParallel(t *testing.T, env *Env, root plan.Node) (*Result, *Result) {
+	t.Helper()
+	env.Parallelism = 1
+	serial, err := Run(env, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Parallelism = 4
+	par, err := Run(env, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Parallelism = 1
+	return serial, par
+}
+
+func TestParallelSeqScanMatchesSerial(t *testing.T) {
+	db, env := newEnv(t, []int{3}, false)
+	root := scanNode(t, db.Cat, "t3")
+	serial, par := runSerialAndParallel(t, env, root)
+	sameRowMultiset(t, par.Rows, serial.Rows)
+	if got, want := par.Stats.IO.Total(), serial.Stats.IO.Total(); got != want {
+		t.Fatalf("parallel scan I/O = %d, serial = %d", got, want)
+	}
+	if got, want := par.Stats.Charged(), serial.Stats.Charged(); got != want {
+		t.Fatalf("parallel scan charged = %v, serial = %v", got, want)
+	}
+}
+
+func TestParallelFilterMatchesSerial(t *testing.T) {
+	db, env := newEnv(t, []int{1}, false)
+	f, _ := db.Cat.Func("costly10")
+	q, _ := query.NewQuery([]string{"t1"}, []*query.Predicate{{
+		Kind: query.KindFunc, Func: f, Args: []query.ColRef{{Table: "t1", Col: "u10"}},
+	}})
+	query.Analyze(db.Cat, q)
+	root := &plan.Filter{Input: scanNode(t, db.Cat, "t1"), Pred: q.Preds[0]}
+	serial, par := runSerialAndParallel(t, env, root)
+	sameRowMultiset(t, par.Rows, serial.Rows)
+	if got, want := par.Stats.Invocations["costly10"], serial.Stats.Invocations["costly10"]; got != want {
+		t.Fatalf("parallel invocations = %d, serial = %d", got, want)
+	}
+	if got, want := par.Stats.Charged(), serial.Stats.Charged(); got != want {
+		t.Fatalf("parallel filter charged = %v, serial = %v", got, want)
+	}
+}
+
+func TestParallelHashJoinMatchesSerial(t *testing.T) {
+	db, env := newEnv(t, []int{1, 3}, false)
+	q, _ := query.NewQuery([]string{"t1", "t3"}, []*query.Predicate{{
+		Kind: query.KindJoinCmp, Op: expr.OpEQ,
+		Left: query.ColRef{Table: "t1", Col: "ua1"}, Right: query.ColRef{Table: "t3", Col: "ua1"},
+	}})
+	query.Analyze(db.Cat, q)
+	outer := scanNode(t, db.Cat, "t1")
+	inner := scanNode(t, db.Cat, "t3")
+	j := &plan.Join{Method: plan.HashJoin, Outer: outer, Inner: inner, Primary: q.Preds[0]}
+	j.ColRefs = plan.ConcatCols(outer, inner)
+	serial, par := runSerialAndParallel(t, env, j)
+	sameRowMultiset(t, par.Rows, serial.Rows)
+	// Grace-hash spill is charged per tuple on both sides; the parallel
+	// operator must count exactly the same tuples.
+	if got, want := par.Stats.SyntheticIO, serial.Stats.SyntheticIO; got != want {
+		t.Fatalf("parallel spill = %v, serial = %v", got, want)
+	}
+	if got, want := par.Stats.Charged(), serial.Stats.Charged(); got != want {
+		t.Fatalf("parallel join charged = %v, serial = %v", got, want)
+	}
+}
+
+func TestParallelFilterBudgetDNF(t *testing.T) {
+	db, env := newEnv(t, []int{1}, false)
+	f, _ := db.Cat.Func("costly100")
+	q, _ := query.NewQuery([]string{"t1"}, []*query.Predicate{{
+		Kind: query.KindFunc, Func: f, Args: []query.ColRef{{Table: "t1", Col: "u10"}},
+	}})
+	query.Analyze(db.Cat, q)
+	root := &plan.Filter{Input: scanNode(t, db.Cat, "t1"), Pred: q.Preds[0]}
+	env.Parallelism = 4
+	env.Budget = 500 // a handful of 100-unit calls
+	res, err := Run(env, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.DNF {
+		t.Fatal("parallel filter past budget should report DNF")
+	}
+	env.Parallelism = 1
+	env.Budget = 0
+}
+
+func TestParallelHashJoinBudgetDNFDuringBuild(t *testing.T) {
+	// t9 (~1800 rows at this scale) keeps the build side past the budget
+	// check's 1024-row cadence.
+	db, env := newEnv(t, []int{1, 9}, false)
+	q, _ := query.NewQuery([]string{"t1", "t9"}, []*query.Predicate{{
+		Kind: query.KindJoinCmp, Op: expr.OpEQ,
+		Left: query.ColRef{Table: "t1", Col: "ua1"}, Right: query.ColRef{Table: "t9", Col: "ua1"},
+	}})
+	query.Analyze(db.Cat, q)
+	outer := scanNode(t, db.Cat, "t1")
+	inner := scanNode(t, db.Cat, "t9")
+	j := &plan.Join{Method: plan.HashJoin, Outer: outer, Inner: inner, Primary: q.Preds[0]}
+	j.ColRefs = plan.ConcatCols(outer, inner)
+	env.Parallelism = 4
+	env.Budget = 3 // below even the inner scan's I/O
+	res, err := Run(env, j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.DNF {
+		t.Fatal("parallel hash join past budget should report DNF")
+	}
+	env.Parallelism = 1
+	env.Budget = 0
+}
+
+// TestParallelCloseEarly abandons a parallel query mid-stream; shutdown must
+// not deadlock or leak (the race detector and goroutine scheduler cover the
+// rest).
+func TestParallelCloseEarly(t *testing.T) {
+	db, env := newEnv(t, []int{3}, false)
+	env.Parallelism = 4
+	if err := env.begin(); err != nil {
+		t.Fatal(err)
+	}
+	it, err := Build(env, scanNode(t, db.Cat, "t3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := it.Open(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, ok, err := it.Next(); err != nil || !ok {
+			t.Fatalf("Next %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	if err := it.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := it.Close(); err != nil { // Close must be idempotent
+		t.Fatal(err)
+	}
+	env.Parallelism = 1
+}

@@ -82,8 +82,9 @@ func (h *Harness) Ablations() (*Report, error) {
 		fmt.Fprintf(&b, "   limit %5d entries: %6d invocations (charged %.0f)\n",
 			limit, inv, res.Stats.Charged())
 	}
-	// Eviction is arbitrary-victim, so invocation counts are not monotone in
-	// the limit — only bounded-vs-unbounded is meaningful.
+	// Eviction is deterministic FIFO, but a tighter limit can still evict a
+	// binding right before its value recurs, so invocation counts are not
+	// monotone in the limit — only bounded-vs-unbounded is meaningful.
 	shapes = append(shapes, check(
 		"bounding the cache revives duplicate invocations",
 		invs[1] > invs[0] && invs[2] > invs[0],

@@ -1,0 +1,176 @@
+package harness
+
+// The parallel-execution benchmark: each benchmark query runs twice on the
+// same database — once with the serial executor, once with the parallel one
+// — comparing wall time, result sets, and charged cost. With predicate
+// caching off the charged cost must match bit for bit (the engine's
+// accounting is parallelism-invariant), so the comparison doubles as a
+// correctness gate in CI.
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"predplace"
+	"predplace/internal/expr"
+)
+
+// NewParallel builds the benchmark database at the given scale with a
+// parallel-capable configuration (sharded buffer pool, worker fan-out of
+// workers). SetParallelism toggles between the serial and parallel
+// executors on the same handle.
+func NewParallel(scale float64, workers int) (*Harness, error) {
+	if scale <= 0 {
+		scale = 0.05
+	}
+	if workers < 2 {
+		workers = 2
+	}
+	db, err := predplace.Open(predplace.Config{Scale: scale, Parallelism: workers})
+	if err != nil {
+		return nil, err
+	}
+	if err := db.RegisterFunc("selective100", 1, 100, 0.1, expr.BoolStub(0.1, 424242)); err != nil {
+		return nil, err
+	}
+	return &Harness{Scale: scale, DB: db}, nil
+}
+
+// ParallelQueryResult compares one query's serial and parallel runs.
+type ParallelQueryResult struct {
+	Query           string  `json:"query"`
+	SerialMs        float64 `json:"serial_ms"`
+	ParallelMs      float64 `json:"parallel_ms"`
+	Speedup         float64 `json:"speedup"`
+	SerialCharged   float64 `json:"serial_charged"`
+	ParallelCharged float64 `json:"parallel_charged"`
+	Rows            int     `json:"rows"`
+	RowsEqual       bool    `json:"rows_equal"`
+	ChargedEqual    bool    `json:"charged_equal"`
+}
+
+// ParallelBench is the full serial-vs-parallel comparison over Queries 1–5.
+type ParallelBench struct {
+	Scale   float64               `json:"scale"`
+	Workers int                   `json:"workers"`
+	Queries []ParallelQueryResult `json:"queries"`
+	// Pass is true when every query returned the same result set and
+	// charged exactly the same cost under both executors.
+	Pass bool `json:"pass"`
+}
+
+// canonicalRows renders a result set order-insensitively for comparison
+// (parallel operators do not preserve row order).
+func canonicalRows(res *predplace.Result) []string {
+	out := make([]string, 0, len(res.Rows))
+	for _, row := range res.Rows {
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = v.String()
+		}
+		out = append(out, strings.Join(cells, "|"))
+	}
+	sort.Strings(out)
+	return out
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// RunParallelBench runs Queries 1–5 under Predicate Migration with caching
+// off, serially and then with workers-way parallelism, on the same database.
+func (h *Harness) RunParallelBench(workers int) (*ParallelBench, error) {
+	queries := []struct {
+		name string
+		sql  string
+	}{
+		{"query1", Query1},
+		{"query2", Query2},
+		{"query3", Query3},
+		{"query4", Query4},
+		{"query5", Query5},
+	}
+	h.DB.SetCaching(false)
+	h.DB.SetBudget(0)
+	bench := &ParallelBench{Scale: h.Scale, Workers: workers, Pass: true}
+	for _, q := range queries {
+		h.DB.SetParallelism(1)
+		t0 := time.Now()
+		serial, err := h.DB.Query(q.sql, predplace.Migration)
+		if err != nil {
+			return nil, fmt.Errorf("%s serial: %w", q.name, err)
+		}
+		serialMs := float64(time.Since(t0).Microseconds()) / 1000
+
+		h.DB.SetParallelism(workers)
+		t0 = time.Now()
+		par, err := h.DB.Query(q.sql, predplace.Migration)
+		if err != nil {
+			return nil, fmt.Errorf("%s parallel: %w", q.name, err)
+		}
+		parMs := float64(time.Since(t0).Microseconds()) / 1000
+		h.DB.SetParallelism(1)
+
+		r := ParallelQueryResult{
+			Query:           q.name,
+			SerialMs:        serialMs,
+			ParallelMs:      parMs,
+			SerialCharged:   serial.Stats.Charged(),
+			ParallelCharged: par.Stats.Charged(),
+			Rows:            serial.Stats.Rows,
+			RowsEqual:       equalStrings(canonicalRows(serial), canonicalRows(par)),
+			ChargedEqual:    serial.Stats.Charged() == par.Stats.Charged(),
+		}
+		if parMs > 0 {
+			r.Speedup = serialMs / parMs
+		}
+		if !r.RowsEqual || !r.ChargedEqual {
+			bench.Pass = false
+		}
+		bench.Queries = append(bench.Queries, r)
+	}
+	return bench, nil
+}
+
+// JSON renders the benchmark as indented JSON (BENCH_parallel.json).
+func (b *ParallelBench) JSON() ([]byte, error) {
+	return json.MarshalIndent(b, "", "  ")
+}
+
+// String renders the benchmark as an aligned table.
+func (b *ParallelBench) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "parallel execution bench: scale=%.3g workers=%d (Migration, caching off)\n",
+		b.Scale, b.Workers)
+	fmt.Fprintf(&sb, "%-8s %10s %10s %8s %14s %14s %6s %8s\n",
+		"query", "serial-ms", "par-ms", "speedup", "serial-cost", "par-cost", "rows", "verdict")
+	for _, q := range b.Queries {
+		verdict := "OK"
+		if !q.RowsEqual {
+			verdict = "ROWS!"
+		} else if !q.ChargedEqual {
+			verdict = "COST!"
+		}
+		fmt.Fprintf(&sb, "%-8s %10.1f %10.1f %7.2fx %14.0f %14.0f %6d %8s\n",
+			q.Query, q.SerialMs, q.ParallelMs, q.Speedup,
+			q.SerialCharged, q.ParallelCharged, q.Rows, verdict)
+	}
+	if b.Pass {
+		sb.WriteString("PASS: parallel results and charged costs match serial exactly\n")
+	} else {
+		sb.WriteString("FAIL: parallel execution diverged from serial\n")
+	}
+	return sb.String()
+}

@@ -1,0 +1,47 @@
+package harness
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRunParallelBench(t *testing.T) {
+	h, err := NewParallel(0.01, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bench, err := h.RunParallelBench(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bench.Queries) != 5 {
+		t.Fatalf("got %d query results, want 5", len(bench.Queries))
+	}
+	if !bench.Pass {
+		t.Fatalf("parallel bench diverged from serial:\n%s", bench)
+	}
+	for _, q := range bench.Queries {
+		if !q.ChargedEqual {
+			t.Errorf("%s: charged cost diverged (serial %v, parallel %v)",
+				q.Query, q.SerialCharged, q.ParallelCharged)
+		}
+		if !q.RowsEqual {
+			t.Errorf("%s: result rows diverged", q.Query)
+		}
+	}
+	data, err := bench.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var round ParallelBench
+	if err := json.Unmarshal(data, &round); err != nil {
+		t.Fatalf("BENCH_parallel.json payload does not round-trip: %v", err)
+	}
+	if round.Workers != 3 || len(round.Queries) != 5 {
+		t.Fatalf("round-trip lost fields: %+v", round)
+	}
+	if !strings.Contains(bench.String(), "PASS") {
+		t.Fatalf("text rendering missing verdict:\n%s", bench)
+	}
+}

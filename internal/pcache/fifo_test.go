@@ -1,0 +1,68 @@
+package pcache
+
+import (
+	"testing"
+
+	"predplace/internal/expr"
+)
+
+// TestFIFOEvictionOrder pins the bounded cache's replacement policy: the
+// oldest-inserted binding is evicted first, deterministically, and updating
+// an existing binding neither evicts nor refreshes its queue position.
+func TestFIFOEvictionOrder(t *testing.T) {
+	m := NewManager(true, 2)
+	owner := m.Owner(1, "f")
+
+	m.Store(owner, "A", expr.B(true))
+	m.Store(owner, "B", expr.B(false))
+	// Updating A in place must not consume a queue slot or evict.
+	m.Store(owner, "A", expr.B(false))
+	if _, _, entries := m.Stats(); entries != 2 {
+		t.Fatalf("entries = %d, want 2", entries)
+	}
+	if v, ok := m.Lookup(owner, "A"); !ok || v != expr.B(false) {
+		t.Fatalf("A after update = %v, %v", v, ok)
+	}
+
+	// Third distinct binding: A (oldest) is the victim, not B.
+	m.Store(owner, "C", expr.B(true))
+	if _, ok := m.Lookup(owner, "A"); ok {
+		t.Fatal("A should have been evicted first (FIFO)")
+	}
+	if _, ok := m.Lookup(owner, "B"); !ok {
+		t.Fatal("B evicted out of order")
+	}
+	if _, ok := m.Lookup(owner, "C"); !ok {
+		t.Fatal("C missing right after Store")
+	}
+
+	// Fourth: B (now oldest) goes next.
+	m.Store(owner, "D", expr.B(true))
+	if _, ok := m.Lookup(owner, "B"); ok {
+		t.Fatal("B should have been evicted second (FIFO)")
+	}
+	if _, _, entries := m.Stats(); entries != 2 {
+		t.Fatalf("entries = %d, want 2 (bounded)", entries)
+	}
+}
+
+// TestFIFOQueueCompaction exercises the order-slice compaction path (head
+// reaching the end of the queue) across many evictions.
+func TestFIFOQueueCompaction(t *testing.T) {
+	m := NewManager(true, 3)
+	owner := m.Owner(7, "g")
+	keys := []string{"k0", "k1", "k2", "k3", "k4", "k5", "k6", "k7", "k8", "k9"}
+	for _, k := range keys {
+		m.Store(owner, k, expr.B(true))
+	}
+	// Only the newest three survive.
+	for i, k := range keys {
+		_, ok := m.Lookup(owner, k)
+		if want := i >= len(keys)-3; ok != want {
+			t.Fatalf("Lookup(%s) = %v, want %v", k, ok, want)
+		}
+	}
+	if _, _, entries := m.Stats(); entries != 3 {
+		t.Fatalf("entries = %d, want 3", entries)
+	}
+}

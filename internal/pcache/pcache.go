@@ -8,6 +8,7 @@ package pcache
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"predplace/internal/expr"
 )
@@ -24,25 +25,48 @@ const (
 	ByFunction
 )
 
+// stripes is the number of lock shards per unbounded cache table. Parallel
+// workers evaluating the same predicate hash their bindings across shards,
+// so lookups and stores rarely contend on one mutex.
+const stripes = 16
+
 // Manager holds one cache per predicate (or per function, depending on
 // Scope) for the duration of a query. Caches are dropped between queries,
 // exactly like the per-query hash tables in Montage.
+//
+// The manager is safe for concurrent use: hit/miss counters are atomics and
+// each cache table is striped into lock shards keyed by a hash of the
+// binding. Bounded tables (maxEntries > 0) use a single shard so the FIFO
+// eviction order below is exact.
 type Manager struct {
-	mu sync.Mutex
-	// Enabled gates all caching; a disabled manager misses on every lookup.
+	// enabled gates all caching; a disabled manager misses on every lookup.
 	enabled bool
 	scope   Scope
 	// maxEntries bounds each predicate's table (0 = unbounded); when full,
-	// an arbitrary entry is evicted (the paper notes any of a variety of
-	// replacement schemes may be used).
+	// the oldest entry is evicted (deterministic FIFO — the paper notes any
+	// of a variety of replacement schemes may be used, and a deterministic
+	// one keeps bounded-cache runs reproducible across processes).
 	maxEntries int
-	caches     map[string]*cache
-	hits       int64
-	misses     int64
+	hits       atomic.Int64
+	misses     atomic.Int64
+
+	mu     sync.RWMutex
+	caches map[string]*cache
 }
 
+// cache is one predicate's (or function's) table, striped into lock shards.
 type cache struct {
-	m map[string]expr.Value
+	shards []cacheShard
+}
+
+type cacheShard struct {
+	mu sync.Mutex
+	m  map[string]expr.Value
+	// order and head form a FIFO queue of keys for bounded tables
+	// (max > 0); unbounded tables skip order tracking entirely.
+	order []string
+	head  int
+	max   int
 }
 
 // NewManager creates a predicate-scoped cache manager. maxEntriesPerPred of
@@ -59,6 +83,33 @@ func NewManagerScoped(enabled bool, maxEntriesPerPred int, scope Scope) *Manager
 		maxEntries: maxEntriesPerPred,
 		caches:     make(map[string]*cache),
 	}
+}
+
+// newCache builds one owner's table: striped when unbounded, single-shard
+// FIFO when bounded.
+func newCache(maxEntries int) *cache {
+	n := stripes
+	if maxEntries > 0 {
+		n = 1
+	}
+	c := &cache{shards: make([]cacheShard, n)}
+	for i := range c.shards {
+		c.shards[i] = cacheShard{m: make(map[string]expr.Value), max: maxEntries}
+	}
+	return c
+}
+
+// shardFor hashes a binding key to one of the cache's lock shards (FNV-1a).
+func (c *cache) shardFor(key string) *cacheShard {
+	if len(c.shards) == 1 {
+		return &c.shards[0]
+	}
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return &c.shards[h%uint64(len(c.shards))]
 }
 
 // Scope returns the manager's caching granularity.
@@ -90,47 +141,73 @@ func Key(args []expr.Value) string {
 	return string(buf)
 }
 
+// table returns the owner's cache, creating it when create is set.
+func (m *Manager) table(owner string, create bool) *cache {
+	m.mu.RLock()
+	c := m.caches[owner]
+	m.mu.RUnlock()
+	if c != nil || !create {
+		return c
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if c = m.caches[owner]; c == nil {
+		c = newCache(m.maxEntries)
+		m.caches[owner] = c
+	}
+	return c
+}
+
 // Lookup returns the cached tri-state result of the owner's table on the
 // given binding (owner comes from Owner).
 func (m *Manager) Lookup(owner string, key string) (expr.Value, bool) {
 	if !m.Enabled() {
 		return expr.Null, false
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	c, ok := m.caches[owner]
-	if !ok {
-		m.misses++
+	c := m.table(owner, false)
+	if c == nil {
+		m.misses.Add(1)
 		return expr.Null, false
 	}
-	v, ok := c.m[key]
+	s := c.shardFor(key)
+	s.mu.Lock()
+	v, ok := s.m[key]
+	s.mu.Unlock()
 	if ok {
-		m.hits++
+		m.hits.Add(1)
 	} else {
-		m.misses++
+		m.misses.Add(1)
 	}
 	return v, ok
 }
 
-// Store records the predicate's result for a binding.
+// Store records the predicate's result for a binding. When the table is
+// bounded and full, the oldest binding is evicted (FIFO).
 func (m *Manager) Store(owner string, key string, v expr.Value) {
 	if !m.Enabled() {
 		return
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	c, ok := m.caches[owner]
-	if !ok {
-		c = &cache{m: make(map[string]expr.Value)}
-		m.caches[owner] = c
+	c := m.table(owner, true)
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.m[key]; exists {
+		s.m[key] = v
+		return
 	}
-	if m.maxEntries > 0 && len(c.m) >= m.maxEntries {
-		for k := range c.m { // evict an arbitrary victim
-			delete(c.m, k)
-			break
+	if s.max > 0 {
+		if len(s.m) >= s.max {
+			victim := s.order[s.head]
+			s.order[s.head] = "" // release the string for GC
+			s.head++
+			delete(s.m, victim)
+			if s.head == len(s.order) {
+				s.order, s.head = s.order[:0], 0
+			}
 		}
+		s.order = append(s.order, key)
 	}
-	c.m[key] = v
+	s.m[key] = v
 }
 
 // Stats returns (hits, misses, totalEntries).
@@ -138,12 +215,17 @@ func (m *Manager) Stats() (hits, misses int64, entries int) {
 	if m == nil {
 		return 0, 0, 0
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	for _, c := range m.caches {
-		entries += len(c.m)
+		for i := range c.shards {
+			s := &c.shards[i]
+			s.mu.Lock()
+			entries += len(s.m)
+			s.mu.Unlock()
+		}
 	}
-	return m.hits, m.misses, entries
+	return m.hits.Load(), m.misses.Load(), entries
 }
 
 // Reset clears all cached entries and counters (between queries).
@@ -154,5 +236,6 @@ func (m *Manager) Reset() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.caches = make(map[string]*cache)
-	m.hits, m.misses = 0, 0
+	m.hits.Store(0)
+	m.misses.Store(0)
 }

@@ -10,12 +10,26 @@ import (
 // the pool cost nothing; misses incur a physical read (and a writeback if the
 // victim is dirty). Pin/Unpin follow the classic protocol: a pinned page is
 // never evicted.
+//
+// The pool is divided into independent shards selected by a hash of the
+// (file, page) key, each with its own lock, frame map, and LRU list, so
+// parallel workers fetching different pages rarely contend. A single-shard
+// pool (the default, see NewBufferPool) behaves exactly like the classic
+// global-LRU pool. Concurrent misses on the same page are deduplicated:
+// one goroutine performs the physical read while the rest wait and share
+// the result, so a page is never read (or charged) twice by a race.
 type BufferPool struct {
-	mu       sync.Mutex
 	disk     *Disk
+	capacity int
+	shards   []poolShard
+}
+
+type poolShard struct {
+	mu       sync.Mutex
 	capacity int
 	frames   map[frameKey]*frame
 	lru      *list.List // front = most recently used; holds *frame
+	inflight map[frameKey]*inflightRead
 
 	hits   int64
 	misses int64
@@ -34,79 +48,152 @@ type frame struct {
 	elem  *list.Element
 }
 
-// NewBufferPool creates a pool of the given capacity (in pages) over disk.
+// inflightRead is a pending physical read shared by every goroutine that
+// missed on the same page while it was being loaded (singleflight).
+type inflightRead struct {
+	done chan struct{}
+	err  error
+}
+
+// NewBufferPool creates a single-shard pool of the given capacity (in
+// pages) over disk — the classic global-LRU pool.
 func NewBufferPool(disk *Disk, capacity int) *BufferPool {
+	return NewShardedBufferPool(disk, capacity, 1)
+}
+
+// NewShardedBufferPool creates a pool of the given total capacity split
+// across the given number of hash-selected shards. More shards reduce lock
+// contention under parallel execution; shard capacities sum to capacity
+// (each at least one page).
+func NewShardedBufferPool(disk *Disk, capacity, shards int) *BufferPool {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &BufferPool{
-		disk:     disk,
-		capacity: capacity,
-		frames:   make(map[frameKey]*frame, capacity),
-		lru:      list.New(),
+	if shards < 1 {
+		shards = 1
 	}
+	if shards > capacity {
+		shards = capacity
+	}
+	bp := &BufferPool{disk: disk, capacity: capacity, shards: make([]poolShard, shards)}
+	base, extra := capacity/shards, capacity%shards
+	for i := range bp.shards {
+		cap := base
+		if i < extra {
+			cap++
+		}
+		bp.shards[i] = poolShard{
+			capacity: cap,
+			frames:   make(map[frameKey]*frame, cap),
+			lru:      list.New(),
+			inflight: make(map[frameKey]*inflightRead),
+		}
+	}
+	return bp
 }
 
-// Capacity returns the pool size in pages.
+// shardFor selects the shard owning key (splitmix64-style hash so adjacent
+// pages of one file spread across shards).
+func (bp *BufferPool) shardFor(key frameKey) *poolShard {
+	if len(bp.shards) == 1 {
+		return &bp.shards[0]
+	}
+	x := uint64(key.file)<<32 | uint64(key.page)
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	return &bp.shards[x%uint64(len(bp.shards))]
+}
+
+// Capacity returns the total pool size in pages.
 func (bp *BufferPool) Capacity() int { return bp.capacity }
 
+// Shards returns the number of lock shards.
+func (bp *BufferPool) Shards() int { return len(bp.shards) }
+
 // HitRate returns (hits, misses) since creation or the last ResetCounters.
+// A goroutine that waits out another's in-flight read of the same page
+// counts as a hit (it cost no physical I/O).
 func (bp *BufferPool) HitRate() (hits, misses int64) {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	return bp.hits, bp.misses
+	for i := range bp.shards {
+		s := &bp.shards[i]
+		s.mu.Lock()
+		hits += s.hits
+		misses += s.misses
+		s.mu.Unlock()
+	}
+	return hits, misses
 }
 
 // ResetCounters zeroes the hit/miss counters (not the cached contents).
 func (bp *BufferPool) ResetCounters() {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	bp.hits, bp.misses = 0, 0
+	for i := range bp.shards {
+		s := &bp.shards[i]
+		s.mu.Lock()
+		s.hits, s.misses = 0, 0
+		s.mu.Unlock()
+	}
 }
 
-// Fetch pins page p of file f, reading it from disk on a miss.
+// Fetch pins page p of file f, reading it from disk on a miss. Concurrent
+// misses on the same page issue a single physical read.
 func (bp *BufferPool) Fetch(f FileID, p PageID) (*Page, error) {
-	bp.mu.Lock()
 	key := frameKey{f, p}
-	if fr, ok := bp.frames[key]; ok {
-		fr.pins++
-		bp.hits++
-		bp.lru.MoveToFront(fr.elem)
-		pg := fr.pg
-		bp.mu.Unlock()
+	s := bp.shardFor(key)
+	for {
+		s.mu.Lock()
+		if fr, ok := s.frames[key]; ok {
+			fr.pins++
+			s.hits++
+			s.lru.MoveToFront(fr.elem)
+			pg := fr.pg
+			s.mu.Unlock()
+			return pg, nil
+		}
+		if fl, ok := s.inflight[key]; ok {
+			// Another goroutine is reading this page; share its read.
+			s.mu.Unlock()
+			<-fl.done
+			if fl.err != nil {
+				return nil, fl.err
+			}
+			continue // the frame is now resident (or re-elect a reader)
+		}
+		s.misses++
+		if err := s.evictLocked(bp.disk); err != nil {
+			s.mu.Unlock()
+			return nil, err
+		}
+		fl := &inflightRead{done: make(chan struct{})}
+		s.inflight[key] = fl
+		s.mu.Unlock()
+
+		pg, err := bp.disk.ReadPage(f, p)
+
+		s.mu.Lock()
+		delete(s.inflight, key)
+		if err == nil {
+			fr := &frame{key: key, pg: pg, pins: 1}
+			fr.elem = s.lru.PushFront(fr)
+			s.frames[key] = fr
+		}
+		fl.err = err
+		close(fl.done)
+		s.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
 		return pg, nil
 	}
-	bp.misses++
-	if err := bp.evictLocked(); err != nil {
-		bp.mu.Unlock()
-		return nil, err
-	}
-	bp.mu.Unlock()
-
-	pg, err := bp.disk.ReadPage(f, p)
-	if err != nil {
-		return nil, err
-	}
-
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	if fr, ok := bp.frames[key]; ok {
-		// Another goroutine loaded it while we read; join that frame.
-		fr.pins++
-		bp.lru.MoveToFront(fr.elem)
-		return fr.pg, nil
-	}
-	fr := &frame{key: key, pg: pg, pins: 1}
-	fr.elem = bp.lru.PushFront(fr)
-	bp.frames[key] = fr
-	return pg, nil
 }
 
-// evictLocked makes room for one more frame, writing back a dirty victim.
-func (bp *BufferPool) evictLocked() error {
-	for len(bp.frames) >= bp.capacity {
+// evictLocked makes room for one more frame in the shard, writing back a
+// dirty victim. Caller holds the shard lock.
+func (s *poolShard) evictLocked(disk *Disk) error {
+	for len(s.frames) >= s.capacity {
 		var victim *frame
-		for e := bp.lru.Back(); e != nil; e = e.Prev() {
+		for e := s.lru.Back(); e != nil; e = e.Prev() {
 			fr := e.Value.(*frame)
 			if fr.pins == 0 {
 				victim = fr
@@ -114,24 +201,26 @@ func (bp *BufferPool) evictLocked() error {
 			}
 		}
 		if victim == nil {
-			return fmt.Errorf("storage: buffer pool exhausted (%d pages, all pinned)", bp.capacity)
+			return fmt.Errorf("storage: buffer pool exhausted (%d pages, all pinned)", s.capacity)
 		}
 		if victim.dirty {
-			if err := bp.disk.WritePage(victim.key.file, victim.key.page); err != nil {
+			if err := disk.WritePage(victim.key.file, victim.key.page); err != nil {
 				return err
 			}
 		}
-		bp.lru.Remove(victim.elem)
-		delete(bp.frames, victim.key)
+		s.lru.Remove(victim.elem)
+		delete(s.frames, victim.key)
 	}
 	return nil
 }
 
 // Unpin releases one pin on page p of file f; dirty marks the page modified.
 func (bp *BufferPool) Unpin(f FileID, p PageID, dirty bool) {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	fr, ok := bp.frames[frameKey{f, p}]
+	key := frameKey{f, p}
+	s := bp.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fr, ok := s.frames[key]
 	if !ok || fr.pins == 0 {
 		return
 	}
@@ -148,35 +237,40 @@ func (bp *BufferPool) NewPage(f FileID) (PageID, *Page, error) {
 	if err != nil {
 		return 0, nil, err
 	}
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	if err := bp.evictLocked(); err != nil {
+	key := frameKey{f, pid}
+	s := bp.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.evictLocked(bp.disk); err != nil {
 		return 0, nil, err
 	}
 	// The freshly allocated page is already in the disk's array; register a
 	// frame for it directly without charging a read (it was never on disk).
-	key := frameKey{f, pid}
 	pg, _ := bp.disk.peek(f, pid)
 	fr := &frame{key: key, pg: pg, pins: 1, dirty: true}
-	fr.elem = bp.lru.PushFront(fr)
-	bp.frames[key] = fr
+	fr.elem = s.lru.PushFront(fr)
+	s.frames[key] = fr
 	return pid, pg, nil
 }
 
 // FlushAll writes back every dirty frame and clears the pool.
 func (bp *BufferPool) FlushAll() error {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	for key, fr := range bp.frames {
-		if fr.dirty {
-			if err := bp.disk.WritePage(key.file, key.page); err != nil {
-				return err
+	for i := range bp.shards {
+		s := &bp.shards[i]
+		s.mu.Lock()
+		for key, fr := range s.frames {
+			if fr.dirty {
+				if err := bp.disk.WritePage(key.file, key.page); err != nil {
+					s.mu.Unlock()
+					return err
+				}
+				fr.dirty = false
 			}
-			fr.dirty = false
 		}
+		s.frames = make(map[frameKey]*frame, s.capacity)
+		s.lru.Init()
+		s.mu.Unlock()
 	}
-	bp.frames = make(map[frameKey]*frame, bp.capacity)
-	bp.lru.Init()
 	return nil
 }
 

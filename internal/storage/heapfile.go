@@ -76,6 +76,22 @@ func (h *HeapFile) Scan() *HeapIter {
 	return &HeapIter{h: h, page: 0, slot: 0, n: h.NumPages()}
 }
 
+// ScanRange returns an iterator over the live records of pages
+// [start, end) in file order — one partition of a range-partitioned
+// parallel scan. Bounds are clamped to the file's current extent.
+func (h *HeapFile) ScanRange(start, end int) *HeapIter {
+	if n := h.NumPages(); end > n {
+		end = n
+	}
+	if start < 0 {
+		start = 0
+	}
+	if start > end {
+		start = end
+	}
+	return &HeapIter{h: h, page: PageID(start), slot: 0, n: end}
+}
+
 // HeapIter iterates a heap file page by page, slot by slot. It pins one page
 // at a time, producing sequential physical reads for cold scans.
 type HeapIter struct {

@@ -7,21 +7,34 @@
 // report an honest "charged cost" (page I/Os + function-invocation charges).
 package storage
 
-import "sync"
+import "sync/atomic"
 
 // Accountant tallies physical I/O. Reads are classified as sequential when
 // they target the page immediately following the previous read of the same
 // file (the common case for heap scans), otherwise random. Index probes and
 // out-of-order heap fetches therefore count as random I/Os, matching the
 // cost model of the paper.
+//
+// All counters are lock-free atomics so parallel workers can record I/O
+// without serializing on a mutex. Under concurrency the sequential/random
+// split is best-effort (two workers racing on `last` may classify a
+// sequential read as random), but the total — the paper's charged unit —
+// is exact; single-threaded runs classify exactly as before.
 type Accountant struct {
-	mu        sync.Mutex
-	seqReads  int64
-	randReads int64
-	writes    int64
-	lastFile  FileID
-	lastPage  PageID
-	valid     bool
+	seqReads  atomic.Int64
+	randReads atomic.Int64
+	writes    atomic.Int64
+	// last packs the previously read (file, page) plus a validity bit so
+	// sequential-read detection is a single load/compare/store.
+	last atomic.Uint64
+}
+
+// lastValid marks the packed last-read word as holding a real position.
+const lastValid = 1 << 63
+
+// packLast encodes a read position into the last-read word.
+func packLast(f FileID, p PageID) uint64 {
+	return lastValid | uint64(f)<<32 | uint64(p)
 }
 
 // IOStats is a snapshot of accumulated I/O counts.
@@ -45,42 +58,39 @@ func (s IOStats) Sub(o IOStats) IOStats {
 
 // RecordRead notes a physical read of page p of file f.
 func (a *Accountant) RecordRead(f FileID, p PageID) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	if a.valid && a.lastFile == f && p == a.lastPage+1 {
-		a.seqReads++
+	if p > 0 && a.last.Load() == packLast(f, p-1) {
+		a.seqReads.Add(1)
 	} else {
-		a.randReads++
+		a.randReads.Add(1)
 	}
-	a.lastFile, a.lastPage, a.valid = f, p, true
+	a.last.Store(packLast(f, p))
 }
 
 // RecordRandRead notes a physical access that is random by construction
 // (e.g. a B-tree leaf probe charged by the index layer).
 func (a *Accountant) RecordRandRead() {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	a.randReads++
-	a.valid = false
+	a.randReads.Add(1)
+	a.last.Store(0)
 }
 
 // RecordWrite notes a physical page write.
 func (a *Accountant) RecordWrite() {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	a.writes++
+	a.writes.Add(1)
 }
 
 // Stats returns a snapshot of the counters.
 func (a *Accountant) Stats() IOStats {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return IOStats{SeqReads: a.seqReads, RandReads: a.randReads, Writes: a.writes}
+	return IOStats{
+		SeqReads:  a.seqReads.Load(),
+		RandReads: a.randReads.Load(),
+		Writes:    a.writes.Load(),
+	}
 }
 
 // Reset zeroes all counters.
 func (a *Accountant) Reset() {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	a.seqReads, a.randReads, a.writes, a.valid = 0, 0, 0, false
+	a.seqReads.Store(0)
+	a.randReads.Store(0)
+	a.writes.Store(0)
+	a.last.Store(0)
 }

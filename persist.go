@@ -117,9 +117,10 @@ func OpenFile(path string, cfg Config) (*DB, error) {
 	if pool == 0 {
 		pool = 1024
 	}
+	workers := resolveParallelism(cfg.Parallelism)
 	inner := &datagen.DB{
 		Disk: disk,
-		Pool: storage.NewBufferPool(disk, pool),
+		Pool: storage.NewShardedBufferPool(disk, pool, poolShards(workers)),
 		Cat:  catalog.New(),
 	}
 	if err := datagen.RegisterStandardFuncs(inner.Cat); err != nil {
@@ -157,6 +158,7 @@ func OpenFile(path string, cfg Config) (*DB, error) {
 	return &DB{
 		inner: inner, caching: cfg.Caching, cacheScope: scope,
 		cacheMax: cfg.CacheMaxEntries, budget: cfg.Budget,
+		parallelism: workers,
 	}, nil
 }
 

@@ -20,6 +20,7 @@ package predplace
 import (
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"sync/atomic"
@@ -80,29 +81,39 @@ type Config struct {
 	// Budget aborts queries whose charged cost exceeds it (0 = unlimited) —
 	// used to reproduce the paper's did-not-finish result for Query 5.
 	Budget float64
+	// Parallelism sets the intra-query worker fan-out: heap scans are
+	// range-partitioned across workers, expensive filters evaluate on a
+	// worker pool, and hash joins build/probe partitioned tables in
+	// parallel. 0 or 1 keeps the classic serial executor (the default —
+	// every figure reproduction runs serially); < 0 uses GOMAXPROCS.
+	// Charged cost with caching off is identical at any setting.
+	Parallelism int
 }
 
 // DB is an open database handle. Handles are safe for sequential use; run
 // one query at a time.
 type DB struct {
-	inner      *datagen.DB
-	caching    bool
-	cacheScope pcache.Scope
-	cacheMax   int
-	budget     float64
-	subSeq     atomic.Int64
+	inner       *datagen.DB
+	caching     bool
+	cacheScope  pcache.Scope
+	cacheMax    int
+	budget      float64
+	parallelism int
+	subSeq      atomic.Int64
 }
 
 // Open creates a database. With Scale > 0 the paper's benchmark schema is
 // generated and the costlyN function family registered.
 func Open(cfg Config) (*DB, error) {
+	workers := resolveParallelism(cfg.Parallelism)
 	var inner *datagen.DB
 	var err error
 	if cfg.Scale > 0 {
 		inner, err = datagen.Build(datagen.Config{
-			Scale:     cfg.Scale,
-			Tables:    cfg.Tables,
-			PoolPages: cfg.PoolPages,
+			Scale:      cfg.Scale,
+			Tables:     cfg.Tables,
+			PoolPages:  cfg.PoolPages,
+			PoolShards: poolShards(workers),
 		})
 	} else {
 		pool := cfg.PoolPages
@@ -113,7 +124,7 @@ func Open(cfg Config) (*DB, error) {
 		disk := storage.NewDisk(acct)
 		inner = &datagen.DB{
 			Disk: disk,
-			Pool: storage.NewBufferPool(disk, pool),
+			Pool: storage.NewShardedBufferPool(disk, pool, poolShards(workers)),
 			Cat:  catalog.New(),
 		}
 		err = datagen.RegisterStandardFuncs(inner.Cat)
@@ -124,7 +135,34 @@ func Open(cfg Config) (*DB, error) {
 	return &DB{
 		inner: inner, caching: cfg.Caching, cacheScope: pcacheScope(cfg),
 		cacheMax: cfg.CacheMaxEntries, budget: cfg.Budget,
+		parallelism: workers,
 	}, nil
+}
+
+// resolveParallelism normalizes a Config.Parallelism value: negative means
+// "use every processor".
+func resolveParallelism(p int) int {
+	if p < 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if p == 0 {
+		return 1
+	}
+	return p
+}
+
+// poolShards picks the buffer-pool stripe count for a worker fan-out: one
+// shard per worker, capped at 16, and exactly 1 for serial databases so the
+// classic single-LRU replacement behavior (and therefore every figure
+// reproduction) is untouched.
+func poolShards(workers int) int {
+	if workers <= 1 {
+		return 1
+	}
+	if workers > 16 {
+		return 16
+	}
+	return workers
 }
 
 // pcacheScope maps the config to a predicate-cache scope.
@@ -147,6 +185,15 @@ func (d *DB) SetBudget(b float64) { d.budget = b }
 // SetCacheLimit bounds each predicate's cache table for subsequent queries
 // (0 = unbounded).
 func (d *DB) SetCacheLimit(n int) { d.cacheMax = n }
+
+// SetParallelism changes the intra-query worker fan-out for subsequent
+// queries (1 = serial; < 0 = GOMAXPROCS). The buffer pool keeps the shard
+// layout it was opened with, so toggling parallelism on one handle compares
+// executors over identical storage.
+func (d *DB) SetParallelism(p int) { d.parallelism = resolveParallelism(p) }
+
+// Parallelism reports the current worker fan-out.
+func (d *DB) Parallelism() int { return d.parallelism }
 
 // ColumnSpec declares a column of a user-created table.
 type ColumnSpec struct {
@@ -387,11 +434,12 @@ func (d *DB) Explain(sql string, algo Algorithm) (string, error) {
 // newEnv builds a fresh execution environment.
 func (d *DB) newEnv() *exec.Env {
 	return &exec.Env{
-		Cat:    d.inner.Cat,
-		Pool:   d.inner.Pool,
-		Acct:   d.inner.Disk.Accountant(),
-		Cache:  pcache.NewManagerScoped(d.caching, d.cacheMax, d.cacheScope),
-		Budget: d.budget,
+		Cat:         d.inner.Cat,
+		Pool:        d.inner.Pool,
+		Acct:        d.inner.Disk.Accountant(),
+		Cache:       pcache.NewManagerScoped(d.caching, d.cacheMax, d.cacheScope),
+		Budget:      d.budget,
+		Parallelism: d.parallelism,
 	}
 }
 
