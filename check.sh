@@ -24,6 +24,13 @@ echo "==> parallel-executor gate (ppbench -parallel)"
 # Runs Queries 1-5 serially and with 4-way parallelism on one database;
 # exits nonzero if the parallel executor's result sets or charged cost
 # (caching off) diverge from serial.
-go run ./cmd/ppbench -parallel -workers 4 -json -scale 0.02
+go run ./cmd/ppbench -parallel -workers 4 -iters 3 -json -scale 0.02
+
+echo "==> batch-executor gate (ppbench -batch)"
+# Runs Queries 1-5 tuple-at-a-time (BatchSize 1, the legacy executor),
+# batched serial, and batched parallel on one database; exits nonzero if the
+# batched executors' result sets, row order (serial modes), or charged cost
+# diverge from tuple-at-a-time.
+go run ./cmd/ppbench -batch -workers 4 -iters 3 -json -scale 0.02
 
 echo "OK"

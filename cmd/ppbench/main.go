@@ -5,7 +5,8 @@
 // Usage:
 //
 //	ppbench [-scale 0.1] [-exp all|table1|table2|fig1|fig3|fig4|fig5|fig6|fig8|fig9|fig10|plantime|caching]
-//	ppbench -parallel [-workers N] [-json] [-scale 0.1]
+//	ppbench -parallel [-workers N] [-iters N] [-json] [-scale 0.1 | -scales 0.02,0.1]
+//	ppbench -batch [-workers N] [-iters N] [-json] [-scale 0.1 | -scales 0.02,0.1]
 //
 // Measurements are charged costs in random-I/O units (page I/Os plus
 // function invocations × per-call cost — the paper's methodology), reported
@@ -14,16 +15,24 @@
 // With -parallel, Queries 1–5 run serially and with N-way intra-query
 // parallelism on the same database (Migration plans, caching off), comparing
 // wall time, result sets, and charged cost; -json additionally writes
-// BENCH_parallel.json. Exits nonzero if the parallel executor's results or
-// charged cost diverge from serial.
+// BENCH_parallel.json. With -batch, the same queries run tuple-at-a-time
+// (BatchSize 1), batched serial, and batched parallel, additionally
+// comparing allocation counts and (for the serial modes) exact row order;
+// -json writes BENCH_batch.json. Both modes exit nonzero if any executor's
+// results or charged cost diverge. -iters times each mode best-of-N so
+// millisecond-scale queries are not noise-dominated, and -scales sweeps a
+// comma-separated list of scale factors (the JSON payload becomes an array
+// when more than one scale is swept).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 
 	"predplace/internal/harness"
@@ -31,11 +40,14 @@ import (
 
 func main() {
 	scale := flag.Float64("scale", 0.1, "database scale factor (1.0 = the paper's ~110 MB)")
+	scales := flag.String("scales", "", "comma-separated scale sweep for -parallel/-batch (overrides -scale)")
 	exp := flag.String("exp", "all", "experiment id or 'all'")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	parallel := flag.Bool("parallel", false, "run the serial-vs-parallel execution bench instead of the figures")
+	batch := flag.Bool("batch", false, "run the tuple-vs-batch-vs-parallel execution bench instead of the figures")
 	workers := flag.Int("workers", 0, "parallel worker fan-out (0 = max(4, GOMAXPROCS))")
-	jsonOut := flag.Bool("json", false, "with -parallel, also write BENCH_parallel.json")
+	iters := flag.Int("iters", 1, "with -parallel/-batch, time each mode best-of-N runs")
+	jsonOut := flag.Bool("json", false, "with -parallel/-batch, also write BENCH_parallel.json/BENCH_batch.json")
 	flag.Parse()
 
 	if *list {
@@ -43,8 +55,12 @@ func main() {
 		return
 	}
 
-	if *parallel {
-		runParallelBench(*scale, *workers, *jsonOut)
+	if *parallel || *batch {
+		sweep, err := parseScales(*scales, *scale)
+		if err != nil {
+			fatal(err)
+		}
+		runExecBench(*batch, sweep, *workers, *iters, *jsonOut)
 		return
 	}
 
@@ -83,9 +99,34 @@ func main() {
 	}
 }
 
-// runParallelBench executes the serial-vs-parallel comparison and exits
-// nonzero when the parallel executor diverges from the serial one.
-func runParallelBench(scale float64, workers int, jsonOut bool) {
+// parseScales turns the -scales list into a sweep, falling back to the
+// single -scale value.
+func parseScales(list string, single float64) ([]float64, error) {
+	if list == "" {
+		return []float64{single}, nil
+	}
+	var out []float64
+	for _, s := range strings.Split(list, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil || f <= 0 {
+			return nil, fmt.Errorf("bad -scales entry %q", s)
+		}
+		out = append(out, f)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-scales lists no scale factors")
+	}
+	return out, nil
+}
+
+// runExecBench executes the serial-vs-parallel comparison (or, with
+// batchMode, the tuple-vs-batch-vs-parallel comparison) at each scale in
+// the sweep and exits nonzero when any executor mode diverges.
+func runExecBench(batchMode bool, sweep []float64, workers, iters int, jsonOut bool) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 		if workers < 4 {
@@ -94,29 +135,63 @@ func runParallelBench(scale float64, workers int, jsonOut bool) {
 			workers = 4
 		}
 	}
-	fmt.Fprintf(os.Stderr, "building benchmark database at scale %.3f (%d workers)…\n", scale, workers)
-	h, err := harness.NewParallel(scale, workers)
-	if err != nil {
-		fatal(err)
+	if iters < 1 {
+		iters = 1
 	}
-	bench, err := h.RunParallelBench(workers)
-	if err != nil {
-		fatal(err)
+	name, file := "parallel", "BENCH_parallel.json"
+	if batchMode {
+		name, file = "batch", "BENCH_batch.json"
 	}
-	fmt.Print(bench)
-	if jsonOut {
-		data, err := bench.JSON()
+	pass := true
+	var payloads []any
+	for _, scale := range sweep {
+		fmt.Fprintf(os.Stderr, "building benchmark database at scale %.3f (%d workers, %d iters)…\n",
+			scale, workers, iters)
+		h, err := harness.NewParallel(scale, workers)
 		if err != nil {
 			fatal(err)
 		}
-		if err := os.WriteFile("BENCH_parallel.json", append(data, '\n'), 0o644); err != nil {
+		if batchMode {
+			bench, err := h.RunBatchBench(workers, iters)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Print(bench)
+			pass = pass && bench.Pass
+			payloads = append(payloads, bench)
+		} else {
+			bench, err := h.RunParallelBenchIters(workers, iters)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Print(bench)
+			pass = pass && bench.Pass
+			payloads = append(payloads, bench)
+		}
+	}
+	if jsonOut {
+		data, err := marshalSweep(payloads)
+		if err != nil {
 			fatal(err)
 		}
-		fmt.Fprintln(os.Stderr, "wrote BENCH_parallel.json")
+		if err := os.WriteFile(file, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "wrote", file)
 	}
-	if !bench.Pass {
+	if !pass {
+		fmt.Fprintf(os.Stderr, "ppbench: %s executor diverged\n", name)
 		os.Exit(1)
 	}
+}
+
+// marshalSweep renders one bench as a single object (the historical file
+// shape) and a multi-scale sweep as an array.
+func marshalSweep(payloads []any) ([]byte, error) {
+	if len(payloads) == 1 {
+		return json.MarshalIndent(payloads[0], "", "  ")
+	}
+	return json.MarshalIndent(payloads, "", "  ")
 }
 
 func experimentIDs() []string {

@@ -84,12 +84,41 @@ func (rc *RowCodec) Encode(row expr.Row) ([]byte, error) {
 	return out, nil
 }
 
-// Decode deserializes a record into a row.
+// Decode deserializes a record into a freshly allocated row.
 func (rc *RowCodec) Decode(rec []byte) (expr.Row, error) {
-	if len(rec) != rc.width {
-		return nil, fmt.Errorf("catalog: record length %d, want %d", len(rec), rc.width)
-	}
 	row := make(expr.Row, len(rc.cols))
+	if err := rc.DecodeInto(rec, row); err != nil {
+		return nil, err
+	}
+	return row, nil
+}
+
+// DecodeMemo caches the most recently decoded string per column so repeated
+// values (the benchmark's constant filler column, low-cardinality strings)
+// decode without allocating. Each scan owns its memo — the codec itself is
+// shared across concurrent scans and stays immutable.
+type DecodeMemo struct {
+	last []string
+}
+
+// DecodeInto deserializes a record into row, which must have exactly one
+// slot per column — the allocation-free decode batched scans use to fill
+// slab-carved rows. rec may alias pinned page memory: every decoded value
+// (including string columns) is copied out, so row does not retain rec.
+func (rc *RowCodec) DecodeInto(rec []byte, row expr.Row) error {
+	return rc.DecodeIntoMemo(rec, row, nil)
+}
+
+// DecodeIntoMemo is DecodeInto with string-value memoization: when a string
+// column's bytes match the previous record's value for that column, the
+// prior string is reused instead of allocating a copy.
+func (rc *RowCodec) DecodeIntoMemo(rec []byte, row expr.Row, memo *DecodeMemo) error {
+	if len(rec) != rc.width {
+		return fmt.Errorf("catalog: record length %d, want %d", len(rec), rc.width)
+	}
+	if len(row) != len(rc.cols) {
+		return fmt.Errorf("catalog: row has %d slots, want %d", len(row), len(rc.cols))
+	}
 	off := 0
 	for i, c := range rc.cols {
 		notNull := rec[off] == 1
@@ -114,16 +143,27 @@ func (rc *RowCodec) Decode(rec []byte) (expr.Row, error) {
 				for end > 0 && b[end-1] == 0 {
 					end--
 				}
-				row[i] = expr.S(string(b[:end]))
+				if memo != nil {
+					if memo.last == nil {
+						memo.last = make([]string, len(rc.cols))
+					}
+					// The conversion inside a == comparison does not allocate.
+					if memo.last[i] != string(b[:end]) {
+						memo.last[i] = string(b[:end])
+					}
+					row[i] = expr.S(memo.last[i])
+				} else {
+					row[i] = expr.S(string(b[:end]))
+				}
 			} else {
 				row[i] = expr.Null
 			}
 			off += c.FixedLen
 		default:
-			return nil, fmt.Errorf("catalog: column %s has unsupported type %v", c.Name, c.Type)
+			return fmt.Errorf("catalog: column %s has unsupported type %v", c.Name, c.Type)
 		}
 	}
-	return row, nil
+	return nil
 }
 
 // DecodeCol extracts a single column's value from a record without decoding

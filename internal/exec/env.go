@@ -52,6 +52,13 @@ type Env struct {
 	// the classic serial Volcano tree — the default, which reproduces the
 	// paper's figures byte-for-byte.
 	Parallelism int
+	// BatchSize sets the rows-per-batch width of the vectorized NextBatch
+	// fast path: 0 uses DefaultBatchSize, 1 disables batching entirely
+	// (exact legacy tuple-at-a-time execution), larger values batch that
+	// many rows per call. Charged cost is per-tuple and batched operators
+	// preserve serial evaluation order, so results and charged cost are
+	// identical at every setting.
+	BatchSize int
 
 	baseIO storage.IOStats
 	// syntheticIO accumulates bulk synthetic charges (external-sort spill);
@@ -71,6 +78,29 @@ func (e *Env) workers() int {
 		return e.Parallelism
 	}
 	return 1
+}
+
+// batchSize returns the effective NextBatch width (1 = tuple-at-a-time).
+func (e *Env) batchSize() int {
+	if e.BatchSize == 0 {
+		return DefaultBatchSize
+	}
+	if e.BatchSize < 1 {
+		return 1
+	}
+	return e.BatchSize
+}
+
+// exchangeBatch is the rows-per-message width of parallel operators'
+// channels. Batched configurations reuse the batch width so one exchange
+// hop moves one full batch; with batching off it falls back to the classic
+// parallelBatch grouping (channel sends were always batched — per-row
+// sends would drown the pipeline in synchronization).
+func (e *Env) exchangeBatch() int {
+	if bs := e.batchSize(); bs > 1 {
+		return bs
+	}
+	return parallelBatch
 }
 
 // begin snapshots counters at query start. The buffer pool is flushed so

@@ -43,6 +43,16 @@ type nlJoinIter struct {
 	outerRow expr.Row
 	haveOut  bool
 	count    int
+	// batch state: candidate-pair scratch (reused — survivors are copied to
+	// slab rows), inner batch buffer, verdicts, predicate scratch
+	pairBuf []expr.Value
+	pairs   []expr.Row
+	ibuf    []expr.Row
+	ipos    int
+	ilen    int
+	keep    []bool
+	sc      predScratch
+	alloc   rowAlloc
 }
 
 func newNLJoin(e *Env, j *plan.Join) (Iterator, error) {
@@ -114,6 +124,118 @@ func (n *nlJoinIter) Next() (expr.Row, bool, error) {
 				}
 			}
 			return out, true, nil
+		}
+	}
+}
+
+// NextBatch vectorizes the nested loop's hottest flaw: the Next path
+// concatenates every candidate pair before the primary predicate sees it,
+// allocating a row per pair even though most pairs fail. Here candidate
+// pairs are assembled in a reusable scratch block, the primary is evaluated
+// over the whole batch (batched cache traffic included), and only the
+// survivors are materialized into slab rows. Pair order, page I/O, and
+// charged cost match the Next path; the inner subtree is drained through
+// its own batch fast path.
+func (n *nlJoinIter) NextBatch(dst []expr.Row) (int, error) {
+	k := len(dst)
+	if k == 0 {
+		return 0, nil
+	}
+	w := len(n.node.Outer.Cols()) + len(n.node.Inner.Cols())
+	if len(n.pairBuf) < k*w {
+		n.pairBuf = make([]expr.Value, k*w)
+		n.pairs = make([]expr.Row, k)
+		for i := range n.pairs {
+			n.pairs[i] = expr.Row(n.pairBuf[i*w : (i+1)*w : (i+1)*w])
+		}
+		n.keep = make([]bool, k)
+	}
+	if cap(n.ibuf) < n.e.batchSize() {
+		n.ibuf = make([]expr.Row, n.e.batchSize())
+	}
+	for {
+		// Gather up to k candidate pairs into the scratch block.
+		cand := 0
+		for cand < k {
+			if !n.haveOut {
+				row, ok, err := n.outer.Next()
+				if err != nil {
+					return 0, err
+				}
+				if !ok {
+					break
+				}
+				n.outerRow = row
+				n.haveOut = true
+				if n.inner != nil {
+					if err := n.inner.Close(); err != nil {
+						return 0, err
+					}
+				}
+				inner, err := Build(n.e, n.node.Inner)
+				if err != nil {
+					return 0, err
+				}
+				if err := inner.Open(); err != nil {
+					return 0, err
+				}
+				n.inner = inner
+				n.ipos, n.ilen = 0, 0
+			}
+			if n.ipos >= n.ilen {
+				m, err := nextBatch(n.inner, n.ibuf[:cap(n.ibuf)])
+				if err != nil {
+					return 0, err
+				}
+				if m == 0 {
+					n.haveOut = false
+					continue
+				}
+				n.ipos, n.ilen = 0, m
+			}
+			irow := n.ibuf[n.ipos]
+			n.ipos++
+			n.count++
+			if n.count%64 == 0 {
+				if err := n.e.checkBudget(); err != nil {
+					return 0, err
+				}
+			}
+			pair := n.pairs[cand]
+			copy(pair, n.outerRow)
+			copy(pair[len(n.outerRow):], irow)
+			cand++
+		}
+		if cand == 0 {
+			return 0, nil
+		}
+		out := 0
+		if n.primary != nil {
+			// The gather loop above already ran the join's every-64-pairs
+			// budget cadence; holdsBatch's own ticking on this throwaway
+			// counter only adds extra (harmless) abort checks.
+			tick := 0
+			if err := n.primary.holdsBatch(n.e, n.pairs[:cand], n.keep[:cand], &tick, &n.sc); err != nil {
+				return 0, err
+			}
+			for i := 0; i < cand; i++ {
+				if n.keep[i] {
+					orow := n.alloc.next(w)
+					copy(orow, n.pairs[i])
+					dst[out] = orow
+					out++
+				}
+			}
+		} else {
+			for i := 0; i < cand; i++ {
+				orow := n.alloc.next(w)
+				copy(orow, n.pairs[i])
+				dst[out] = orow
+				out++
+			}
+		}
+		if out > 0 {
+			return out, nil
 		}
 	}
 }
@@ -267,6 +389,12 @@ type hashJoinIter struct {
 	pos     int
 	haveOut bool
 	count   int
+	// batch state: current outer batch, probe key scratch, output row slab
+	obuf   []expr.Row
+	opos   int
+	olen   int
+	keyBuf []byte
+	alloc  rowAlloc
 }
 
 func newHashJoin(e *Env, j *plan.Join) (Iterator, error) {
@@ -293,13 +421,28 @@ func (h *hashJoinIter) Open() error {
 		return err
 	}
 	h.table = make(map[string][]expr.Row)
+	if bs := h.e.batchSize(); bs > 1 {
+		if err := h.buildBatched(bs); err != nil {
+			return err
+		}
+	} else if err := h.buildTupleAtATime(); err != nil {
+		return err
+	}
+	if err := h.inner.Close(); err != nil {
+		return err
+	}
+	return h.outer.Open()
+}
+
+// buildTupleAtATime is the legacy build loop (BatchSize 1).
+func (h *hashJoinIter) buildTupleAtATime() error {
 	for {
 		row, ok, err := h.inner.Next()
 		if err != nil {
 			return err
 		}
 		if !ok {
-			break
+			return nil
 		}
 		h.e.ChargeSpillTuple()
 		v := row[h.inIdx]
@@ -315,10 +458,39 @@ func (h *hashJoinIter) Open() error {
 			}
 		}
 	}
-	if err := h.inner.Close(); err != nil {
-		return err
+}
+
+// buildBatched drains the inner input batch-at-a-time, encoding join keys
+// into a reused buffer (a string materializes only on map insert). Spill
+// charges, skipped NULL keys, and budget cadence match the legacy loop.
+func (h *hashJoinIter) buildBatched(bs int) error {
+	buf := getRowBuf(bs)
+	defer putRowBuf(buf)
+	var keyBuf []byte
+	for {
+		m, err := nextBatch(h.inner, buf)
+		if err != nil {
+			return err
+		}
+		if m == 0 {
+			return nil
+		}
+		for _, row := range buf[:m] {
+			h.e.ChargeSpillTuple()
+			v := row[h.inIdx]
+			if v.IsNull() {
+				continue
+			}
+			keyBuf = v.AppendKey(keyBuf[:0])
+			h.table[string(keyBuf)] = append(h.table[string(keyBuf)], row)
+			h.count++
+			if h.count%1024 == 0 {
+				if err := h.e.checkBudget(); err != nil {
+					return err
+				}
+			}
+		}
 	}
-	return h.outer.Open()
 }
 
 func (h *hashJoinIter) Next() (expr.Row, bool, error) {
@@ -350,6 +522,58 @@ func (h *hashJoinIter) Next() (expr.Row, bool, error) {
 		}
 		h.haveOut = false
 	}
+}
+
+// NextBatch probes the hash table with a batch of outer rows at a time:
+// probe keys are encoded into a reused buffer (map lookup on a []byte
+// conversion is allocation-free), and output rows are carved from a value
+// slab instead of one Concat allocation per match. Spill charges, probe
+// order, and budget cadence match the Next path exactly.
+func (h *hashJoinIter) NextBatch(dst []expr.Row) (int, error) {
+	if cap(h.obuf) < h.e.batchSize() {
+		h.obuf = make([]expr.Row, h.e.batchSize())
+	}
+	n := 0
+	for n < len(dst) {
+		if h.pos < len(h.bucket) {
+			irow := h.bucket[h.pos]
+			h.pos++
+			out := h.alloc.next(len(h.outRow) + len(irow))
+			copy(out, h.outRow)
+			copy(out[len(h.outRow):], irow)
+			dst[n] = out
+			n++
+			continue
+		}
+		if h.opos >= h.olen {
+			m, err := nextBatch(h.outer, h.obuf[:h.e.batchSize()])
+			if err != nil {
+				return 0, err
+			}
+			if m == 0 {
+				break
+			}
+			h.olen, h.opos = m, 0
+		}
+		row := h.obuf[h.opos]
+		h.opos++
+		h.e.ChargeSpillTuple()
+		h.count++
+		if h.count%1024 == 0 {
+			if err := h.e.checkBudget(); err != nil {
+				return 0, err
+			}
+		}
+		v := row[h.outIdx]
+		if v.IsNull() {
+			h.bucket = nil
+			continue
+		}
+		h.keyBuf = v.AppendKey(h.keyBuf[:0])
+		h.bucket = h.table[string(h.keyBuf)]
+		h.outRow, h.pos = row, 0
+	}
+	return n, nil
 }
 
 func (h *hashJoinIter) Close() error {
@@ -392,6 +616,20 @@ func drain(e *Env, n plan.Node) ([]expr.Row, error) {
 		return nil, errors.Join(err, it.Close())
 	}
 	var rows []expr.Row
+	if bs := e.batchSize(); bs > 1 {
+		buf := getRowBuf(bs)
+		defer putRowBuf(buf)
+		for {
+			m, berr := nextBatch(it, buf)
+			if berr != nil {
+				return nil, errors.Join(berr, it.Close())
+			}
+			if m == 0 {
+				return rows, it.Close()
+			}
+			rows = append(rows, buf[:m]...)
+		}
+	}
 	for {
 		row, ok, err := it.Next()
 		if err != nil {

@@ -11,7 +11,7 @@ import (
 
 // hashPartition maps an encoded join key to one of w partitions (FNV-1a).
 // Build and probe must agree on this mapping.
-func hashPartition(key string, w int) int {
+func hashPartition(key []byte, w int) int {
 	h := uint64(14695981039346656037)
 	for i := 0; i < len(key); i++ {
 		h ^= uint64(key[i])
@@ -76,11 +76,13 @@ func (h *parallelHashJoinIter) Open() error {
 		go func(i int) {
 			defer bwg.Done()
 			m := h.parts[i]
+			var keyBuf []byte
 			for rows := range build[i] {
 				for _, row := range rows {
-					k := string(row[h.inIdx].AppendKey(nil))
-					m[k] = append(m[k], row)
+					keyBuf = row[h.inIdx].AppendKey(keyBuf[:0])
+					m[string(keyBuf)] = append(m[string(keyBuf)], row)
 				}
+				putRowBuf(rows)
 			}
 		}(i)
 	}
@@ -110,109 +112,139 @@ func (h *parallelHashJoinIter) Open() error {
 	return nil
 }
 
-// routeBuild drains the inner input, charging spill per tuple (null keys
-// included, matching the serial operator) and routing non-null rows to the
-// builder that owns their partition.
+// routeBuild drains the inner input batch-at-a-time, charging spill per
+// tuple (null keys included, matching the serial operator) and routing
+// non-null rows to the builder that owns their partition. Partition keys are
+// encoded into a reused buffer and per-partition pending batches use pooled
+// buffers the builders recycle after insertion.
 func (h *parallelHashJoinIter) routeBuild(build []chan []expr.Row, w int) error {
+	bs := h.e.exchangeBatch()
 	pend := make([][]expr.Row, w)
+	for p := range pend {
+		pend[p] = getRowBuf(bs)[:0]
+	}
+	recycle := func() {
+		for _, rows := range pend {
+			putRowBuf(rows)
+		}
+	}
+	buf := getRowBuf(bs)
+	defer putRowBuf(buf)
+	var keyBuf []byte
 	count := 0
 	for {
-		row, ok, err := h.inner.Next()
+		m, err := nextBatch(h.inner, buf)
 		if err != nil {
+			recycle()
 			return err
 		}
-		if !ok {
+		if m == 0 {
 			break
 		}
-		h.e.ChargeSpillTuple()
-		count++
-		if count%1024 == 0 {
-			if err := h.e.checkBudget(); err != nil {
-				return err
+		for _, row := range buf[:m] {
+			h.e.ChargeSpillTuple()
+			count++
+			if count%1024 == 0 {
+				if err := h.e.checkBudget(); err != nil {
+					recycle()
+					return err
+				}
 			}
-		}
-		v := row[h.inIdx]
-		if v.IsNull() {
-			continue
-		}
-		p := hashPartition(string(v.AppendKey(nil)), w)
-		pend[p] = append(pend[p], row)
-		if len(pend[p]) == parallelBatch {
-			build[p] <- pend[p]
-			pend[p] = nil
+			v := row[h.inIdx]
+			if v.IsNull() {
+				continue
+			}
+			keyBuf = v.AppendKey(keyBuf[:0])
+			p := hashPartition(keyBuf, w)
+			pend[p] = append(pend[p], row)
+			if len(pend[p]) == bs {
+				build[p] <- pend[p]
+				pend[p] = getRowBuf(bs)[:0]
+			}
 		}
 	}
 	for p, rows := range pend {
 		if len(rows) > 0 {
 			build[p] <- rows
+		} else {
+			putRowBuf(rows)
 		}
 	}
 	return nil
 }
 
-// routeProbe drains the outer input, charging spill per tuple, and hands
-// batches to the probe workers.
+// routeProbe drains the outer input batch-at-a-time, charging spill per
+// tuple, and hands pooled batches to the probe workers.
 func (h *parallelHashJoinIter) routeProbe() {
 	defer h.fan.wg.Done()
 	defer close(h.tasks)
-	buf := make([]expr.Row, 0, parallelBatch)
+	bs := h.e.exchangeBatch()
 	count := 0
 	for {
-		row, ok, err := h.outer.Next()
+		buf := getRowBuf(bs)
+		m, err := nextBatch(h.outer, buf)
 		if err != nil {
+			putRowBuf(buf)
 			h.fan.send(rowBatch{err: err})
 			return
 		}
-		if !ok {
-			break
+		if m == 0 {
+			putRowBuf(buf)
+			return
 		}
-		h.e.ChargeSpillTuple()
-		count++
-		if count%1024 == 0 {
-			if err := h.e.checkBudget(); err != nil {
-				h.fan.send(rowBatch{err: err})
-				return
+		for range buf[:m] {
+			h.e.ChargeSpillTuple()
+			count++
+			if count%1024 == 0 {
+				if err := h.e.checkBudget(); err != nil {
+					putRowBuf(buf)
+					h.fan.send(rowBatch{err: err})
+					return
+				}
 			}
 		}
-		buf = append(buf, row)
-		if len(buf) == parallelBatch {
-			select {
-			case h.tasks <- buf:
-			case <-h.fan.stop:
-				return
-			}
-			buf = make([]expr.Row, 0, parallelBatch)
-		}
-	}
-	if len(buf) > 0 {
 		select {
-		case h.tasks <- buf:
+		case h.tasks <- buf[:m]:
 		case <-h.fan.stop:
+			putRowBuf(buf)
+			return
 		}
 	}
 }
 
 // probeWorker probes the read-only partition tables with each outer row in
-// its batches, emitting concatenated matches.
+// its batches: probe keys are encoded into a reused buffer (the map lookup
+// on a []byte conversion is allocation-free) and output rows are carved
+// from a per-worker value slab instead of one Concat allocation per match.
 func (h *parallelHashJoinIter) probeWorker() {
 	defer h.fan.wg.Done()
 	w := len(h.parts)
+	bs := h.e.exchangeBatch()
+	var keyBuf []byte
+	var alloc rowAlloc
 	for batch := range h.tasks {
-		var out []expr.Row
+		out := getRowBuf(bs)[:0]
 		for _, row := range batch {
 			v := row[h.outIdx]
 			if v.IsNull() {
 				continue
 			}
-			k := string(v.AppendKey(nil))
-			for _, irow := range h.parts[hashPartition(k, w)][k] {
-				out = append(out, row.Concat(irow))
+			keyBuf = v.AppendKey(keyBuf[:0])
+			for _, irow := range h.parts[hashPartition(keyBuf, w)][string(keyBuf)] {
+				orow := alloc.next(len(row) + len(irow))
+				copy(orow, row)
+				copy(orow[len(row):], irow)
+				out = append(out, orow)
 			}
 		}
+		putRowBuf(batch)
 		if len(out) > 0 {
 			if !h.fan.send(rowBatch{rows: out}) {
+				putRowBuf(out)
 				return
 			}
+		} else {
+			putRowBuf(out)
 		}
 	}
 }
@@ -222,6 +254,14 @@ func (h *parallelHashJoinIter) Next() (expr.Row, bool, error) {
 		return nil, false, fmt.Errorf("exec: Next before Open on parallel HashJoin")
 	}
 	return h.fan.next()
+}
+
+// NextBatch forwards the fan-in's batch path to batched consumers.
+func (h *parallelHashJoinIter) NextBatch(dst []expr.Row) (int, error) {
+	if h.fan.out == nil {
+		return 0, fmt.Errorf("exec: NextBatch before Open on parallel HashJoin")
+	}
+	return h.fan.nextBatch(dst)
 }
 
 func (h *parallelHashJoinIter) Close() error {

@@ -42,6 +42,7 @@ type fanIn struct {
 	cur     []expr.Row
 	pos     int
 	done    bool
+	err     error
 }
 
 // init sizes the fan-in channels; buffers is the channel capacity in
@@ -49,7 +50,7 @@ type fanIn struct {
 func (f *fanIn) init(buffers int) {
 	f.out = make(chan rowBatch, buffers)
 	f.stop = make(chan struct{})
-	f.cur, f.pos, f.done = nil, 0, false
+	f.cur, f.pos, f.done, f.err = nil, 0, false, nil
 }
 
 // goCloser spawns the goroutine that closes out once every producer
@@ -80,20 +81,68 @@ func (f *fanIn) next() (expr.Row, bool, error) {
 			f.pos++
 			return row, true, nil
 		}
-		if f.done {
-			return nil, false, nil
+		if !f.refill(true) {
+			return nil, false, f.err
 		}
-		b, ok := <-f.out
-		if !ok {
-			f.done = true
-			return nil, false, nil
-		}
-		if b.err != nil {
-			f.done = true
-			return nil, false, b.err
-		}
-		f.cur, f.pos = b.rows, 0
 	}
+}
+
+// nextBatch copies up to len(dst) rows out of the workers' fan-in. Once at
+// least one row is buffered it refills without blocking, so a partially
+// filled batch flows downstream instead of stalling on slow workers.
+func (f *fanIn) nextBatch(dst []expr.Row) (int, error) {
+	n := 0
+	for n < len(dst) {
+		if f.pos < len(f.cur) {
+			c := copy(dst[n:], f.cur[f.pos:])
+			f.pos += c
+			n += c
+			continue
+		}
+		if !f.refill(n == 0) {
+			if f.err != nil {
+				return 0, f.err
+			}
+			break
+		}
+	}
+	return n, nil
+}
+
+// refill consumes the next worker batch into cur, recycling the drained
+// buffer. With block=false it returns immediately when no batch is ready.
+// Returns false on exhaustion, error (stored in f.err), or would-block.
+func (f *fanIn) refill(block bool) bool {
+	if f.done {
+		return false
+	}
+	if f.cur != nil {
+		putRowBuf(f.cur)
+		f.cur = nil
+		f.pos = 0
+	}
+	var b rowBatch
+	var ok bool
+	if block {
+		b, ok = <-f.out
+	} else {
+		select {
+		case b, ok = <-f.out:
+		default:
+			return false
+		}
+	}
+	if !ok {
+		f.done = true
+		return false
+	}
+	if b.err != nil {
+		f.done = true
+		f.err = b.err
+		return false
+	}
+	f.cur, f.pos = b.rows, 0
+	return true
 }
 
 // shutdown signals the workers to stop, drains the output channel so
@@ -159,17 +208,23 @@ func (s *parallelScanIter) Open() error {
 	return nil
 }
 
-// scanPartition scans pages [lo, hi), decoding rows and batching them to
-// the consumer.
+// scanPartition scans pages [lo, hi), decoding rows straight from pinned
+// page memory into per-worker slab rows and batching them to the consumer
+// in exchangeBatch-sized messages (pooled buffers).
 func (s *parallelScanIter) scanPartition(lo, hi int) {
 	defer s.fan.wg.Done()
 	it := s.tab.Heap.ScanRange(lo, hi)
 	defer it.Close()
-	buf := make([]expr.Row, 0, parallelBatch)
+	bs := s.e.exchangeBatch()
+	width := len(s.tab.Columns)
+	var alloc rowAlloc
+	var memo catalog.DecodeMemo
+	buf := getRowBuf(bs)[:0]
 	count := 0
 	for {
-		rec, _, ok, err := it.Next()
+		rec, _, ok, err := it.NextRef()
 		if err != nil {
+			putRowBuf(buf)
 			s.fan.send(rowBatch{err: err})
 			return
 		}
@@ -179,25 +234,32 @@ func (s *parallelScanIter) scanPartition(lo, hi int) {
 		count++
 		if count%1024 == 0 {
 			if err := s.e.checkBudget(); err != nil {
+				putRowBuf(buf)
 				s.fan.send(rowBatch{err: err})
 				return
 			}
 		}
-		row, err := s.tab.Codec.Decode(rec)
-		if err != nil {
+		row := alloc.next(width)
+		if err := s.tab.Codec.DecodeIntoMemo(rec, row, &memo); err != nil {
+			putRowBuf(buf)
 			s.fan.send(rowBatch{err: err})
 			return
 		}
 		buf = append(buf, row)
-		if len(buf) == parallelBatch {
+		if len(buf) == bs {
 			if !s.fan.send(rowBatch{rows: buf}) {
+				putRowBuf(buf)
 				return
 			}
-			buf = make([]expr.Row, 0, parallelBatch)
+			buf = getRowBuf(bs)[:0]
 		}
 	}
 	if len(buf) > 0 {
-		s.fan.send(rowBatch{rows: buf})
+		if !s.fan.send(rowBatch{rows: buf}) {
+			putRowBuf(buf)
+		}
+	} else {
+		putRowBuf(buf)
 	}
 }
 
@@ -206,6 +268,16 @@ func (s *parallelScanIter) Next() (expr.Row, bool, error) {
 		return nil, false, fmt.Errorf("exec: Next before Open on SeqScan(%s)", s.tab.Name)
 	}
 	return s.fan.next()
+}
+
+// NextBatch drains whole exchange messages per call instead of one row per
+// call, amortizing the channel hop that made parallel scans slower than
+// serial ones at tuple granularity.
+func (s *parallelScanIter) NextBatch(dst []expr.Row) (int, error) {
+	if s.fan.out == nil {
+		return 0, fmt.Errorf("exec: NextBatch before Open on SeqScan(%s)", s.tab.Name)
+	}
+	return s.fan.nextBatch(dst)
 }
 
 func (s *parallelScanIter) Close() error {
@@ -247,65 +319,65 @@ func (f *parallelFilterIter) Open() error {
 	return nil
 }
 
-// route drains the input serially and hands batches to the worker pool.
+// route drains the input batch-at-a-time (one NextBatch call per task
+// batch instead of one Next call per row) and hands pooled batches to the
+// worker pool.
 func (f *parallelFilterIter) route() {
 	defer f.fan.wg.Done()
 	defer close(f.tasks)
-	buf := make([]expr.Row, 0, parallelBatch)
+	bs := f.e.exchangeBatch()
 	for {
-		row, ok, err := f.in.Next()
+		buf := getRowBuf(bs)
+		m, err := nextBatch(f.in, buf)
 		if err != nil {
+			putRowBuf(buf)
 			f.fan.send(rowBatch{err: err})
 			return
 		}
-		if !ok {
-			break
+		if m == 0 {
+			putRowBuf(buf)
+			return
 		}
-		buf = append(buf, row)
-		if len(buf) == parallelBatch {
-			select {
-			case f.tasks <- buf:
-			case <-f.fan.stop:
-				return
-			}
-			buf = make([]expr.Row, 0, parallelBatch)
-		}
-	}
-	if len(buf) > 0 {
 		select {
-		case f.tasks <- buf:
+		case f.tasks <- buf[:m]:
 		case <-f.fan.stop:
+			putRowBuf(buf)
+			return
 		}
 	}
 }
 
-// evalWorker applies the predicate to each batch, forwarding passing rows.
+// evalWorker applies the predicate to whole batches (one holdsBatch — and
+// thus one predicate-cache shard-lock round — per batch), compacting
+// passing rows in place and forwarding them. Each input row is still
+// evaluated exactly once.
 func (f *parallelFilterIter) evalWorker() {
 	defer f.fan.wg.Done()
 	count := 0
+	var keep []bool
+	var sc predScratch
 	for batch := range f.tasks {
+		if cap(keep) < len(batch) {
+			keep = make([]bool, len(batch))
+		}
+		if err := f.pred.holdsBatch(f.e, batch, keep[:len(batch)], &count, &sc); err != nil {
+			putRowBuf(batch)
+			f.fan.send(rowBatch{err: err})
+			return
+		}
 		out := batch[:0]
-		for _, row := range batch {
-			count++
-			if count%32 == 0 {
-				if err := f.e.checkBudget(); err != nil {
-					f.fan.send(rowBatch{err: err})
-					return
-				}
-			}
-			pass, err := f.pred.holds(f.e, row)
-			if err != nil {
-				f.fan.send(rowBatch{err: err})
-				return
-			}
-			if pass {
+		for i, row := range batch {
+			if keep[i] {
 				out = append(out, row)
 			}
 		}
 		if len(out) > 0 {
 			if !f.fan.send(rowBatch{rows: out}) {
+				putRowBuf(batch)
 				return
 			}
+		} else {
+			putRowBuf(batch)
 		}
 	}
 }
@@ -315,6 +387,14 @@ func (f *parallelFilterIter) Next() (expr.Row, bool, error) {
 		return nil, false, fmt.Errorf("exec: Next before Open on parallel Filter")
 	}
 	return f.fan.next()
+}
+
+// NextBatch forwards the fan-in's batch path to batched consumers.
+func (f *parallelFilterIter) NextBatch(dst []expr.Row) (int, error) {
+	if f.fan.out == nil {
+		return 0, fmt.Errorf("exec: NextBatch before Open on parallel Filter")
+	}
+	return f.fan.nextBatch(dst)
 }
 
 func (f *parallelFilterIter) Close() error {

@@ -74,12 +74,31 @@ func Run(e *Env, root plan.Node) (*Result, error) {
 }
 
 // pump opens the iterator and drains it into res, returning the number of
-// rows produced. The caller owns closing the iterator.
+// rows produced. The caller owns closing the iterator. With batching on
+// (Env.BatchSize != 1) it drives the tree through the NextBatch fast path;
+// BatchSize 1 runs the exact legacy tuple-at-a-time loop.
 func pump(e *Env, it Iterator, res *Result) (int, error) {
 	if err := it.Open(); err != nil {
 		return 0, err
 	}
 	rows := 0
+	if bs := e.batchSize(); bs > 1 {
+		buf := getRowBuf(bs)
+		defer putRowBuf(buf)
+		for {
+			n, err := nextBatch(it, buf)
+			if err != nil {
+				return rows, err
+			}
+			if n == 0 {
+				return rows, nil
+			}
+			rows += n
+			if !e.CountOnly {
+				res.Rows = append(res.Rows, buf[:n]...)
+			}
+		}
+	}
 	for {
 		row, ok, err := it.Next()
 		if err != nil {

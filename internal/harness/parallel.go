@@ -12,7 +12,6 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-	"time"
 
 	"predplace"
 	"predplace/internal/expr"
@@ -56,6 +55,7 @@ type ParallelQueryResult struct {
 type ParallelBench struct {
 	Scale   float64               `json:"scale"`
 	Workers int                   `json:"workers"`
+	Iters   int                   `json:"iters"`
 	Queries []ParallelQueryResult `json:"queries"`
 	// Pass is true when every query returned the same result set and
 	// charged exactly the same cost under both executors.
@@ -91,37 +91,35 @@ func equalStrings(a, b []string) bool {
 
 // RunParallelBench runs Queries 1–5 under Predicate Migration with caching
 // off, serially and then with workers-way parallelism, on the same database.
+// Timings are single-shot; use RunParallelBenchIters for best-of-N numbers.
 func (h *Harness) RunParallelBench(workers int) (*ParallelBench, error) {
-	queries := []struct {
-		name string
-		sql  string
-	}{
-		{"query1", Query1},
-		{"query2", Query2},
-		{"query3", Query3},
-		{"query4", Query4},
-		{"query5", Query5},
+	return h.RunParallelBenchIters(workers, 1)
+}
+
+// RunParallelBenchIters is RunParallelBench with best-of-iters timing: each
+// mode runs iters times per query and the fastest run is reported, so
+// millisecond-scale queries are not noise-dominated. Correctness checks
+// compare the last run of each mode.
+func (h *Harness) RunParallelBenchIters(workers, iters int) (*ParallelBench, error) {
+	if iters < 1 {
+		iters = 1
 	}
 	h.DB.SetCaching(false)
 	h.DB.SetBudget(0)
-	bench := &ParallelBench{Scale: h.Scale, Workers: workers, Pass: true}
-	for _, q := range queries {
+	bench := &ParallelBench{Scale: h.Scale, Workers: workers, Iters: iters, Pass: true}
+	for _, q := range benchQueries {
 		h.DB.SetParallelism(1)
-		t0 := time.Now()
-		serial, err := h.DB.Query(q.sql, predplace.Migration)
+		serial, serialMs, _, err := h.measure(q.sql, iters)
 		if err != nil {
 			return nil, fmt.Errorf("%s serial: %w", q.name, err)
 		}
-		serialMs := float64(time.Since(t0).Microseconds()) / 1000
 
 		h.DB.SetParallelism(workers)
-		t0 = time.Now()
-		par, err := h.DB.Query(q.sql, predplace.Migration)
+		par, parMs, _, err := h.measure(q.sql, iters)
+		h.DB.SetParallelism(1)
 		if err != nil {
 			return nil, fmt.Errorf("%s parallel: %w", q.name, err)
 		}
-		parMs := float64(time.Since(t0).Microseconds()) / 1000
-		h.DB.SetParallelism(1)
 
 		r := ParallelQueryResult{
 			Query:           q.name,

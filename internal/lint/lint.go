@@ -17,6 +17,9 @@
 //     default clause.
 //   - nodecontract:     plan.Node implementations need doc comments and must
 //     not return aliased child slices from Cols().
+//   - batchcontract:    exec NextBatch implementations must not retain or
+//     grow their caller-owned dst buffer, must return 0 on
+//     error, and call sites must not blank the error.
 //
 // A diagnostic can be suppressed with a `//pplint:ignore <analyzer> [reason]`
 // comment on the flagged line or the line directly above it; use sparingly
@@ -83,6 +86,7 @@ func Analyzers() []*Analyzer {
 		ErrDropAnalyzer,
 		ExhaustiveSwitchAnalyzer,
 		NodeContractAnalyzer,
+		BatchContractAnalyzer,
 	}
 }
 

@@ -310,6 +310,88 @@ func (n *GoodNode) Describe() string      { return "good" }
 `,
 			want: 0,
 		},
+		{
+			name:     "batchcontract flags dst retention, append growth, and n-with-err returns",
+			analyzer: "batchcontract",
+			path:     "example.com/internal/exec",
+			src: `package exec
+
+type badIter struct {
+	saved []int
+	err   error
+}
+
+func (b *badIter) NextBatch(dst []int) (int, error) {
+	b.saved = dst[:2]
+	dst = append(dst, 7)
+	n := len(dst)
+	if b.err != nil {
+		return n, b.err
+	}
+	return n, nil
+}
+`,
+			want:    3, // field retention + append(dst, ...) + return n, err
+			wantSub: "NextBatch",
+		},
+		{
+			name:     "batchcontract flags call sites that blank the error",
+			analyzer: "batchcontract",
+			path:     "example.com/internal/exec",
+			src: `package exec
+
+type src struct{}
+
+func (s *src) NextBatch(dst []int) (int, error) { return 0, nil }
+
+func drain(s *src, buf []int) int {
+	n, _ := s.NextBatch(buf)
+	return n
+}
+`,
+			want:    1,
+			wantSub: "discards a NextBatch error",
+		},
+		{
+			name:     "batchcontract accepts a compliant implementation",
+			analyzer: "batchcontract",
+			path:     "example.com/internal/exec",
+			src: `package exec
+
+type okIter struct {
+	in  *okIter
+	buf []int
+}
+
+func (o *okIter) NextBatch(dst []int) (int, error) {
+	n, err := o.in.NextBatch(dst)
+	if err != nil {
+		return 0, err
+	}
+	o.buf = o.buf[:0]
+	for i := 0; i < n; i++ {
+		dst[i] = dst[i] + 1
+	}
+	return n, nil
+}
+`,
+			want: 0,
+		},
+		{
+			name:     "batchcontract ignores packages outside exec",
+			analyzer: "batchcontract",
+			path:     "example.com/internal/storage",
+			src: `package storage
+
+type iter struct{ saved []int }
+
+func (i *iter) NextBatch(dst []int) (int, error) {
+	i.saved = dst
+	return len(dst), nil
+}
+`,
+			want: 0,
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -340,8 +422,8 @@ func renderDiags(diags []Diagnostic) string {
 
 func TestSuiteRegistry(t *testing.T) {
 	all := Analyzers()
-	if len(all) != 5 {
-		t.Fatalf("suite has %d analyzers, want 5", len(all))
+	if len(all) != 6 {
+		t.Fatalf("suite has %d analyzers, want 6", len(all))
 	}
 	seen := map[string]bool{}
 	for _, a := range all {

@@ -112,6 +112,20 @@ func (c *cache) shardFor(key string) *cacheShard {
 	return &c.shards[h%uint64(len(c.shards))]
 }
 
+// shardIdx is shardFor over a raw key, allocation-free for the batched
+// paths (converting a []byte to string for a function argument would copy).
+func (c *cache) shardIdx(key []byte) int {
+	if len(c.shards) == 1 {
+		return 0
+	}
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return int(h % uint64(len(c.shards)))
+}
+
 // Scope returns the manager's caching granularity.
 func (m *Manager) Scope() Scope {
 	if m == nil {
@@ -191,6 +205,11 @@ func (m *Manager) Store(owner string, key string, v expr.Value) {
 	s := c.shardFor(key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.store(key, v)
+}
+
+// store records one binding in the shard; the caller holds the shard lock.
+func (s *cacheShard) store(key string, v expr.Value) {
 	if _, exists := s.m[key]; exists {
 		s.m[key] = v
 		return
@@ -208,6 +227,130 @@ func (m *Manager) Store(owner string, key string, v expr.Value) {
 		s.order = append(s.order, key)
 	}
 	s.m[key] = v
+}
+
+// Batch lookup states: the outcome of one binding in a GetBatch call.
+const (
+	// BatchMiss marks a binding absent from the cache; the caller must
+	// evaluate it and hand the result back through PutBatch.
+	BatchMiss uint8 = iota
+	// BatchHit marks a cached binding; Val carries the stored result.
+	BatchHit
+	// BatchDup marks a binding equal to an earlier BatchMiss in the same
+	// batch (index in Dup). Under tuple-at-a-time execution the earlier
+	// row's store would have completed before this row's lookup, so the
+	// duplicate counts as a hit and takes the earlier row's result.
+	BatchDup
+)
+
+// BatchEntry is one binding's outcome in a GetBatch call.
+type BatchEntry struct {
+	// Val is the cached result for BatchHit entries (and is filled in by
+	// the caller for misses before PutBatch).
+	Val expr.Value
+	// State is BatchMiss, BatchHit, or BatchDup.
+	State uint8
+	// Dup is the index of the earlier miss sharing this binding
+	// (BatchDup only; -1 otherwise).
+	Dup int32
+}
+
+// Batchable reports whether the batched lookup path may be used: only
+// enabled managers with unbounded tables qualify. Bounded tables evict in
+// FIFO order, which is sensitive to the exact interleaving of lookups and
+// stores, so batching them could change hit patterns versus
+// tuple-at-a-time execution; unbounded tables are monotone (a cached
+// binding stays cached), making GetBatch/PutBatch exactly equivalent to
+// the sequential per-row protocol.
+func (m *Manager) Batchable() bool { return m.Enabled() && m.maxEntries == 0 }
+
+// GetBatch looks up a batch of bindings, taking each shard lock at most
+// once per call instead of once per row. Semantics are as-if-sequential:
+// out[i] reports what the i'th Lookup of a tuple-at-a-time loop would have
+// seen, assuming each miss is stored before the next lookup — duplicates
+// of an earlier miss therefore report BatchDup (counted as hits). Keys are
+// raw binding encodings; GetBatch does not retain them.
+func (m *Manager) GetBatch(owner string, keys [][]byte, out []BatchEntry) {
+	var c *cache
+	if m.Enabled() {
+		c = m.table(owner, false)
+	}
+	var hits, misses int64
+	// pending maps a missed binding to its first index, for duplicate
+	// detection. Allocated lazily: batches with no misses never touch it.
+	var pending map[string]int32
+	miss := func(i int, key []byte) {
+		if j, ok := pending[string(key)]; ok {
+			out[i] = BatchEntry{State: BatchDup, Dup: j}
+			hits++
+			return
+		}
+		if pending == nil {
+			pending = make(map[string]int32, 8)
+		}
+		pending[string(key)] = int32(i)
+		out[i] = BatchEntry{State: BatchMiss, Dup: -1}
+		misses++
+	}
+	if c == nil {
+		for i, key := range keys {
+			miss(i, key)
+		}
+	} else {
+		// One pass per shard, locking each shard once; equal bindings hash
+		// to the same shard, so duplicate detection stays in order.
+		for si := range c.shards {
+			s := &c.shards[si]
+			locked := false
+			for i, key := range keys {
+				if c.shardIdx(key) != si {
+					continue
+				}
+				if !locked {
+					s.mu.Lock()
+					locked = true
+				}
+				if v, ok := s.m[string(key)]; ok {
+					out[i] = BatchEntry{Val: v, State: BatchHit, Dup: -1}
+					hits++
+				} else {
+					miss(i, key)
+				}
+			}
+			if locked {
+				s.mu.Unlock()
+			}
+		}
+	}
+	m.hits.Add(hits)
+	m.misses.Add(misses)
+}
+
+// PutBatch stores the results of a GetBatch's misses (entries whose State
+// is BatchMiss, with Val filled in by the caller), taking each shard lock
+// at most once. Hits and duplicates are skipped.
+func (m *Manager) PutBatch(owner string, keys [][]byte, entries []BatchEntry) {
+	if !m.Enabled() {
+		return
+	}
+	c := m.table(owner, true)
+	for si := range c.shards {
+		s := &c.shards[si]
+		locked := false
+		for i := range entries {
+			if entries[i].State != BatchMiss || c.shardIdx(keys[i]) != si {
+				continue
+			}
+			if !locked {
+				s.mu.Lock()
+				locked = true
+			}
+			s.store(string(keys[i]), entries[i].Val)
+		}
+		if locked {
+			s.mu.Unlock()
+		}
+	}
 }
 
 // Stats returns (hits, misses, totalEntries).

@@ -71,6 +71,23 @@ func (h *HeapFile) Get(tid TID) ([]byte, error) {
 	return out, nil
 }
 
+// View calls fn with the record at tid while its page stays pinned,
+// avoiding Get's defensive copy. The record bytes alias page memory and
+// must not be retained after fn returns. Page I/O is accounted exactly as
+// in Get (one Fetch, one Unpin).
+func (h *HeapFile) View(tid TID, fn func(rec []byte) error) error {
+	pg, err := h.bp.Fetch(h.file, tid.Page)
+	if err != nil {
+		return err
+	}
+	defer h.bp.Unpin(h.file, tid.Page, false)
+	rec, ok := pg.Get(tid.Slot)
+	if !ok {
+		return fmt.Errorf("storage: no record at %s", tid)
+	}
+	return fn(rec)
+}
+
 // Scan returns an iterator over all live records in file order.
 func (h *HeapFile) Scan() *HeapIter {
 	return &HeapIter{h: h, page: 0, slot: 0, n: h.NumPages()}
@@ -108,6 +125,20 @@ type HeapIter struct {
 // page memory. ok=false means the scan is exhausted (or an error occurred;
 // see Err).
 func (it *HeapIter) Next() (rec []byte, tid TID, ok bool, err error) {
+	ref, tid, ok, err := it.NextRef()
+	if !ok || err != nil {
+		return nil, tid, ok, err
+	}
+	out := make([]byte, len(ref))
+	copy(out, ref)
+	return out, tid, true, nil
+}
+
+// NextRef returns the next live record without copying: the returned slice
+// aliases the iterator's pinned page and is valid only until the next
+// NextRef/Next/Close call. Batched scans decode straight from page memory
+// through it, skipping the per-record copy Next performs.
+func (it *HeapIter) NextRef() (rec []byte, tid TID, ok bool, err error) {
 	if it.done {
 		return nil, TID{}, false, nil
 	}
@@ -129,9 +160,7 @@ func (it *HeapIter) Next() (rec []byte, tid TID, ok bool, err error) {
 			s := it.slot
 			it.slot++
 			if live {
-				out := make([]byte, len(rec))
-				copy(out, rec)
-				return out, TID{Page: it.curPage, Slot: s}, true, nil
+				return rec, TID{Page: it.curPage, Slot: s}, true, nil
 			}
 		}
 		it.h.bp.Unpin(it.h.file, it.curPage, false)

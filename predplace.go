@@ -88,6 +88,13 @@ type Config struct {
 	// every figure reproduction runs serially); < 0 uses GOMAXPROCS.
 	// Charged cost with caching off is identical at any setting.
 	Parallelism int
+	// BatchSize sets the rows-per-batch width of the executor's vectorized
+	// NextBatch fast path. 0 uses the tuned default (exec.DefaultBatchSize);
+	// 1 disables batching entirely, running the exact legacy tuple-at-a-time
+	// loops; > 1 sets the batch width. Results, row order, and charged cost
+	// are identical at every setting — batching only amortizes per-row
+	// interface calls, lock acquisitions, and allocations.
+	BatchSize int
 }
 
 // DB is an open database handle. Handles are safe for sequential use; run
@@ -99,6 +106,7 @@ type DB struct {
 	cacheMax    int
 	budget      float64
 	parallelism int
+	batchSize   int
 	subSeq      atomic.Int64
 }
 
@@ -135,7 +143,7 @@ func Open(cfg Config) (*DB, error) {
 	return &DB{
 		inner: inner, caching: cfg.Caching, cacheScope: pcacheScope(cfg),
 		cacheMax: cfg.CacheMaxEntries, budget: cfg.Budget,
-		parallelism: workers,
+		parallelism: workers, batchSize: cfg.BatchSize,
 	}, nil
 }
 
@@ -194,6 +202,17 @@ func (d *DB) SetParallelism(p int) { d.parallelism = resolveParallelism(p) }
 
 // Parallelism reports the current worker fan-out.
 func (d *DB) Parallelism() int { return d.parallelism }
+
+// DefaultBatchSize is the batch width used when Config.BatchSize is 0.
+const DefaultBatchSize = exec.DefaultBatchSize
+
+// SetBatchSize changes the executor's batch width for subsequent queries
+// (0 = tuned default, 1 = legacy tuple-at-a-time, > 1 = that many rows per
+// batch). Results and charged cost are identical at every setting.
+func (d *DB) SetBatchSize(n int) { d.batchSize = n }
+
+// BatchSize reports the configured batch width (0 = tuned default).
+func (d *DB) BatchSize() int { return d.batchSize }
 
 // ColumnSpec declares a column of a user-created table.
 type ColumnSpec struct {
@@ -440,6 +459,7 @@ func (d *DB) newEnv() *exec.Env {
 		Cache:       pcache.NewManagerScoped(d.caching, d.cacheMax, d.cacheScope),
 		Budget:      d.budget,
 		Parallelism: d.parallelism,
+		BatchSize:   d.batchSize,
 	}
 }
 
