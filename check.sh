@@ -33,4 +33,11 @@ echo "==> batch-executor gate (ppbench -batch)"
 # diverge from tuple-at-a-time.
 go run ./cmd/ppbench -batch -workers 4 -iters 3 -json -scale 0.02
 
+echo "==> fault/timeout gate (ppbench -faults)"
+# Runs Queries 1-5 under deterministic injected read faults and aggressive
+# deadlines across serial/parallel x tuple/batched configurations; exits
+# nonzero if any run panics, hangs, silently truncates, returns an error not
+# wrapping the injected fault, or leaks pinned frames/goroutines.
+go run ./cmd/ppbench -faults -seeds 2 -workers 4 -scale 0.02
+
 echo "OK"

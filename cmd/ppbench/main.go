@@ -7,6 +7,7 @@
 //	ppbench [-scale 0.1] [-exp all|table1|table2|fig1|fig3|fig4|fig5|fig6|fig8|fig9|fig10|plantime|caching]
 //	ppbench -parallel [-workers N] [-iters N] [-json] [-scale 0.1 | -scales 0.02,0.1]
 //	ppbench -batch [-workers N] [-iters N] [-json] [-scale 0.1 | -scales 0.02,0.1]
+//	ppbench -faults [-seeds N] [-workers N] [-json] [-scale 0.1]
 //
 // Measurements are charged costs in random-I/O units (page I/Os plus
 // function invocations × per-call cost — the paper's methodology), reported
@@ -23,6 +24,14 @@
 // millisecond-scale queries are not noise-dominated, and -scales sweeps a
 // comma-separated list of scale factors (the JSON payload becomes an array
 // when more than one scale is swept).
+//
+// With -faults, Queries 1–5 run under deterministic injected storage read
+// faults (-seeds fault sites per query) and aggressive deadlines, across
+// serial/parallel × tuple/batched configurations. Every run must end in an
+// accepted outcome — clean baseline-identical rows, an error wrapping the
+// injected fault, a DNF, or a deadline error — with zero pinned buffer-pool
+// frames afterwards; -json writes BENCH_faults.json. Fault and timeout runs
+// never contribute to the figure reproductions.
 package main
 
 import (
@@ -45,13 +54,20 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	parallel := flag.Bool("parallel", false, "run the serial-vs-parallel execution bench instead of the figures")
 	batch := flag.Bool("batch", false, "run the tuple-vs-batch-vs-parallel execution bench instead of the figures")
+	faults := flag.Bool("faults", false, "run the fault/timeout sweep instead of the figures")
+	seeds := flag.Int("seeds", 3, "with -faults, fault sites tried per query")
 	workers := flag.Int("workers", 0, "parallel worker fan-out (0 = max(4, GOMAXPROCS))")
 	iters := flag.Int("iters", 1, "with -parallel/-batch, time each mode best-of-N runs")
-	jsonOut := flag.Bool("json", false, "with -parallel/-batch, also write BENCH_parallel.json/BENCH_batch.json")
+	jsonOut := flag.Bool("json", false, "with -parallel/-batch/-faults, also write BENCH_<mode>.json")
 	flag.Parse()
 
 	if *list {
 		fmt.Println("experiments: all", strings.Join(experimentIDs(), " "))
+		return
+	}
+
+	if *faults {
+		runFaultBench(*scale, resolveWorkers(*workers), *seeds, *jsonOut)
 		return
 	}
 
@@ -127,14 +143,7 @@ func parseScales(list string, single float64) ([]float64, error) {
 // batchMode, the tuple-vs-batch-vs-parallel comparison) at each scale in
 // the sweep and exits nonzero when any executor mode diverges.
 func runExecBench(batchMode bool, sweep []float64, workers, iters int, jsonOut bool) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-		if workers < 4 {
-			// Exercise the parallel operators even on small machines; extra
-			// workers beyond the core count still validate correctness.
-			workers = 4
-		}
-	}
+	workers = resolveWorkers(workers)
 	if iters < 1 {
 		iters = 1
 	}
@@ -181,6 +190,50 @@ func runExecBench(batchMode bool, sweep []float64, workers, iters int, jsonOut b
 	}
 	if !pass {
 		fmt.Fprintf(os.Stderr, "ppbench: %s executor diverged\n", name)
+		os.Exit(1)
+	}
+}
+
+// resolveWorkers maps the -workers flag to an effective fan-out.
+func resolveWorkers(workers int) int {
+	if workers > 0 {
+		return workers
+	}
+	workers = runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		// Exercise the parallel operators even on small machines; extra
+		// workers beyond the core count still validate correctness.
+		workers = 4
+	}
+	return workers
+}
+
+// runFaultBench executes the fault/timeout sweep and exits nonzero when any
+// run violates the executor's failure contract.
+func runFaultBench(scale float64, workers, seeds int, jsonOut bool) {
+	fmt.Fprintf(os.Stderr, "building benchmark database at scale %.3f (%d workers, %d seeds)…\n",
+		scale, workers, seeds)
+	h, err := harness.NewParallel(scale, workers)
+	if err != nil {
+		fatal(err)
+	}
+	bench, err := h.RunFaultBench(workers, seeds)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(bench)
+	if jsonOut {
+		data, err := bench.JSON()
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile("BENCH_faults.json", append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "wrote BENCH_faults.json")
+	}
+	if !bench.Pass {
+		fmt.Fprintln(os.Stderr, "ppbench: fault sweep violated the failure contract")
 		os.Exit(1)
 	}
 }

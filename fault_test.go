@@ -1,0 +1,114 @@
+package predplace_test
+
+// The randomized fault sweep: benchmark queries run under deterministic
+// injected read faults and aggressive deadlines across the executor's
+// serial/parallel × tuple/batched configurations. Per seed, every run must
+// end in an accepted outcome — clean rows identical to the fault-free
+// baseline, an error wrapping the injected fault, a DNF, or a deadline
+// error — with zero pinned buffer-pool frames and the goroutine baseline
+// restored afterwards. check.sh runs this under -race, so the abort paths'
+// synchronization is exercised too.
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"predplace"
+	"predplace/internal/harness"
+)
+
+func TestFaultSweep(t *testing.T) {
+	h, err := harness.New(0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := 3
+	if testing.Short() {
+		seeds = 1
+	}
+	b, err := h.RunFaultBench(4, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Pass {
+		t.Fatalf("fault sweep violated the failure contract:\n%s", b.String())
+	}
+}
+
+// TestQueryContextCancel covers the facade surface directly: a canceled
+// context aborts the query with an error reaching context.Canceled, and a
+// configured timeout surfaces context.DeadlineExceeded; afterwards no
+// frame stays pinned.
+func TestQueryContextCancel(t *testing.T) {
+	db, err := predplace.Open(predplace.Config{Scale: 0.02, Tables: []int{1, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sql := "SELECT * FROM t1, t3 WHERE t1.ua1 = t3.ua1 AND costly100(t1.u10)"
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := db.QueryContext(ctx, sql, predplace.Migration); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled context: want context.Canceled, got %v", err)
+	}
+
+	db.SetTimeout(time.Nanosecond)
+	if _, err := db.Query(sql, predplace.Migration); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("timeout: want context.DeadlineExceeded, got %v", err)
+	}
+	db.SetTimeout(0)
+
+	if got := db.PinnedFrames(); got != 0 {
+		t.Fatalf("%d frames pinned after aborted queries", got)
+	}
+
+	// The same query without faults or deadline still runs cleanly.
+	res, err := db.Query(sql, predplace.Migration)
+	if err != nil || res.DNF {
+		t.Fatalf("clean rerun failed: res=%+v err=%v", res, err)
+	}
+}
+
+// TestFaultEveryReadSite exhaustively fails each page read of one join
+// query, serially and in parallel: whichever operator the fault lands in —
+// scan, join build, probe, rebuilt nested-loop inner — the query must
+// return a wrapped injected-fault error or a clean result, and teardown
+// must leave zero pinned frames and no stranded goroutines. This is the
+// regression net over every mid-query error site the pin/goroutine audit
+// found (half-opened nested-loop inners, abandoned fan-in batches).
+func TestFaultEveryReadSite(t *testing.T) {
+	db, err := predplace.Open(predplace.Config{Scale: 0.01, Tables: []int{1, 2}, Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sql := "SELECT * FROM t1, t2 WHERE t1.ua1 = t2.ua1 AND costly10(t1.u10)"
+
+	db.SetFaults(&predplace.FaultConfig{}) // count-only: no injection
+	if _, err := db.Query(sql, predplace.Migration); err != nil {
+		t.Fatal(err)
+	}
+	reads, _, _ := db.FaultCounts()
+	db.SetFaults(nil)
+	if reads == 0 {
+		t.Fatal("no page reads observed")
+	}
+
+	for _, p := range []int{1, 4} {
+		db.SetParallelism(p)
+		for n := int64(1); n <= reads; n++ {
+			audit := harness.StartLeakAudit()
+			db.SetFaults(&predplace.FaultConfig{FailReadN: n})
+			_, err := db.Query(sql, predplace.Migration)
+			db.SetFaults(nil)
+			if err != nil && !errors.Is(err, predplace.ErrInjectedFault) {
+				t.Fatalf("P=%d failN=%d: error does not wrap the injected fault: %v", p, n, err)
+			}
+			if err := audit.Verify(db); err != nil {
+				t.Fatalf("P=%d failN=%d: %v", p, n, err)
+			}
+		}
+	}
+	db.SetParallelism(1)
+}

@@ -14,6 +14,7 @@
 package exec
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -31,10 +32,21 @@ import (
 // space and never completed" for Query 5.
 var ErrBudgetExceeded = errors.New("exec: charged-cost budget exceeded")
 
+// ErrCanceled wraps the context's cause when a query is aborted by
+// cancellation or deadline; callers unwrap it (errors.Is) to reach
+// context.Canceled or context.DeadlineExceeded.
+var ErrCanceled = errors.New("exec: query canceled")
+
 // Env is the execution context of one query. Run one query at a time per
 // Env; within a query, the engine's own parallel operators may consume the
 // Env from multiple goroutines (its accounting is concurrency-safe).
 type Env struct {
+	// Ctx, when non-nil, cancels the query: every operator observes it on
+	// the same cadence as the charged-cost budget check (checkAbort), so a
+	// canceled or timed-out query unwinds promptly through the ordinary
+	// error path — serial, parallel, and batched alike — with no extra
+	// charges on the fault-free path.
+	Ctx context.Context
 	// Cat resolves tables and functions.
 	Cat *catalog.Catalog
 	// Pool is the buffer pool all page access goes through.
@@ -151,10 +163,22 @@ func (e *Env) Charged() float64 {
 	return float64(io.Total()) + e.synthetic() + e.Cat.ChargedFuncCost()
 }
 
-// checkBudget returns ErrBudgetExceeded when past the budget.
-func (e *Env) checkBudget() error {
+// checkAbort is the per-operator abort check, called on each operator's
+// existing budget-check cadence: it returns ErrBudgetExceeded when the
+// charged cost passed the budget, and an ErrCanceled-wrapped context cause
+// when Ctx is canceled. Both conditions abort through the ordinary error
+// path, so iterator teardown (Close, unpin, worker shutdown) runs exactly
+// as it does for any other execution error.
+func (e *Env) checkAbort() error {
 	if e.Budget > 0 && e.Charged() > e.Budget {
 		return ErrBudgetExceeded
+	}
+	if e.Ctx != nil {
+		select {
+		case <-e.Ctx.Done():
+			return fmt.Errorf("%w: %w", ErrCanceled, context.Cause(e.Ctx))
+		default:
+		}
 	}
 	return nil
 }
@@ -198,10 +222,17 @@ func (s Stats) Charged() float64 {
 	return float64(s.IO.Total()) + s.SyntheticIO + s.FuncCharge
 }
 
-// String renders the stats compactly.
+// String renders the stats compactly. Predicate-cache traffic is appended
+// when there was any, so ppsql and ppbench output shows cache behavior
+// without JSON; cache-free runs render exactly as before.
 func (s Stats) String() string {
-	return fmt.Sprintf("charged=%.0f (io=%d synth=%.0f func=%.0f) rows=%d",
+	base := fmt.Sprintf("charged=%.0f (io=%d synth=%.0f func=%.0f) rows=%d",
 		s.Charged(), s.IO.Total(), s.SyntheticIO, s.FuncCharge, s.Rows)
+	if s.CacheHits != 0 || s.CacheMisses != 0 || s.CacheEntries != 0 {
+		base += fmt.Sprintf(" cache(hits=%d misses=%d entries=%d)",
+			s.CacheHits, s.CacheMisses, s.CacheEntries)
+	}
+	return base
 }
 
 // finish assembles the stats at query end.

@@ -99,7 +99,7 @@ func (s *seqScanIter) Next() (expr.Row, bool, error) {
 	}
 	s.count++
 	if s.count%1024 == 0 {
-		if err := s.e.checkBudget(); err != nil {
+		if err := s.e.checkAbort(); err != nil {
 			return nil, false, err
 		}
 	}
@@ -131,7 +131,7 @@ func (s *seqScanIter) NextBatch(dst []expr.Row) (int, error) {
 		}
 		s.count++
 		if s.count%1024 == 0 {
-			if err := s.e.checkBudget(); err != nil {
+			if err := s.e.checkAbort(); err != nil {
 				return 0, err
 			}
 		}
@@ -228,7 +228,7 @@ func (s *indexScanIter) Next() (expr.Row, bool, error) {
 	}
 	s.count++
 	if s.count%1024 == 0 {
-		if err := s.e.checkBudget(); err != nil {
+		if err := s.e.checkAbort(); err != nil {
 			return nil, false, err
 		}
 	}
@@ -259,7 +259,7 @@ func (s *indexScanIter) NextBatch(dst []expr.Row) (int, error) {
 		}
 		s.count++
 		if s.count%1024 == 0 {
-			if err := s.e.checkBudget(); err != nil {
+			if err := s.e.checkAbort(); err != nil {
 				return 0, err
 			}
 		}
@@ -302,7 +302,7 @@ func (f *filterIter) Next() (expr.Row, bool, error) {
 		}
 		f.count++
 		if f.count%32 == 0 {
-			if err := f.e.checkBudget(); err != nil {
+			if err := f.e.checkAbort(); err != nil {
 				return nil, false, err
 			}
 		}

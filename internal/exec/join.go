@@ -93,10 +93,14 @@ func (n *nlJoinIter) Next() (expr.Row, bool, error) {
 			if err != nil {
 				return nil, false, err
 			}
+			// Store the rebuilt inner before opening it: if Open fails the
+			// join's Close still reaches the new subtree (Close on a
+			// half-opened iterator is safe), so a mid-query Open fault cannot
+			// strand pinned pages or exchange goroutines.
+			n.inner = inner
 			if err := inner.Open(); err != nil {
 				return nil, false, err
 			}
-			n.inner = inner
 		}
 		for {
 			irow, ok, err := n.inner.Next()
@@ -109,7 +113,7 @@ func (n *nlJoinIter) Next() (expr.Row, bool, error) {
 			}
 			n.count++
 			if n.count%64 == 0 {
-				if err := n.e.checkBudget(); err != nil {
+				if err := n.e.checkAbort(); err != nil {
 					return nil, false, err
 				}
 			}
@@ -176,11 +180,13 @@ func (n *nlJoinIter) NextBatch(dst []expr.Row) (int, error) {
 				if err != nil {
 					return 0, err
 				}
+				// As in Next: store before Open so Close reaches the new
+				// subtree even when Open fails mid-rescan.
+				n.inner = inner
+				n.ipos, n.ilen = 0, 0
 				if err := inner.Open(); err != nil {
 					return 0, err
 				}
-				n.inner = inner
-				n.ipos, n.ilen = 0, 0
 			}
 			if n.ipos >= n.ilen {
 				m, err := nextBatch(n.inner, n.ibuf[:cap(n.ibuf)])
@@ -197,7 +203,7 @@ func (n *nlJoinIter) NextBatch(dst []expr.Row) (int, error) {
 			n.ipos++
 			n.count++
 			if n.count%64 == 0 {
-				if err := n.e.checkBudget(); err != nil {
+				if err := n.e.checkAbort(); err != nil {
 					return 0, err
 				}
 			}
@@ -356,7 +362,7 @@ func (n *indexNLJoinIter) Next() (expr.Row, bool, error) {
 			}
 			n.count++
 			if n.count%64 == 0 {
-				if err := n.e.checkBudget(); err != nil {
+				if err := n.e.checkAbort(); err != nil {
 					return nil, false, err
 				}
 			}
@@ -453,7 +459,7 @@ func (h *hashJoinIter) buildTupleAtATime() error {
 		h.table[k] = append(h.table[k], row)
 		h.count++
 		if h.count%1024 == 0 {
-			if err := h.e.checkBudget(); err != nil {
+			if err := h.e.checkAbort(); err != nil {
 				return err
 			}
 		}
@@ -485,7 +491,7 @@ func (h *hashJoinIter) buildBatched(bs int) error {
 			h.table[string(keyBuf)] = append(h.table[string(keyBuf)], row)
 			h.count++
 			if h.count%1024 == 0 {
-				if err := h.e.checkBudget(); err != nil {
+				if err := h.e.checkAbort(); err != nil {
 					return err
 				}
 			}
@@ -510,7 +516,7 @@ func (h *hashJoinIter) Next() (expr.Row, bool, error) {
 			}
 			h.count++
 			if h.count%1024 == 0 {
-				if err := h.e.checkBudget(); err != nil {
+				if err := h.e.checkAbort(); err != nil {
 					return nil, false, err
 				}
 			}
@@ -560,7 +566,7 @@ func (h *hashJoinIter) NextBatch(dst []expr.Row) (int, error) {
 		h.e.ChargeSpillTuple()
 		h.count++
 		if h.count%1024 == 0 {
-			if err := h.e.checkBudget(); err != nil {
+			if err := h.e.checkAbort(); err != nil {
 				return 0, err
 			}
 		}
@@ -663,7 +669,7 @@ func (m *mergeJoinIter) Open() error {
 		sortSide(m.irows, m.inIdx)
 	}
 	m.opened = true
-	return m.e.checkBudget()
+	return m.e.checkAbort()
 }
 
 func (m *mergeJoinIter) Next() (expr.Row, bool, error) {
@@ -720,7 +726,7 @@ func (m *mergeJoinIter) Next() (expr.Row, bool, error) {
 		// the reuse branch above. To avoid rescanning forever, remember that
 		// groups are re-found by key comparison: reset ii to start is safe
 		// because the outer only moves forward.
-		if err := m.e.checkBudget(); err != nil {
+		if err := m.e.checkAbort(); err != nil {
 			return nil, false, err
 		}
 	}

@@ -145,7 +145,7 @@ func (h *parallelHashJoinIter) routeBuild(build []chan []expr.Row, w int) error 
 			h.e.ChargeSpillTuple()
 			count++
 			if count%1024 == 0 {
-				if err := h.e.checkBudget(); err != nil {
+				if err := h.e.checkAbort(); err != nil {
 					recycle()
 					return err
 				}
@@ -196,7 +196,7 @@ func (h *parallelHashJoinIter) routeProbe() {
 			h.e.ChargeSpillTuple()
 			count++
 			if count%1024 == 0 {
-				if err := h.e.checkBudget(); err != nil {
+				if err := h.e.checkAbort(); err != nil {
 					putRowBuf(buf)
 					h.fan.send(rowBatch{err: err})
 					return

@@ -146,17 +146,26 @@ func (f *fanIn) refill(block bool) bool {
 }
 
 // shutdown signals the workers to stop, drains the output channel so
-// blocked senders unblock, and waits for every goroutine to exit. Safe to
-// call more than once, and a no-op if the operator was never opened.
+// blocked senders unblock, and waits for every goroutine to exit. In-flight
+// and half-consumed batches are recycled to the buffer pool — an abandoned
+// pipeline (consumer error, budget abort, cancellation) must not strand
+// pooled buffers. Safe to call more than once, and a no-op if the operator
+// was never opened.
 func (f *fanIn) shutdown() {
 	if f.out == nil {
 		return
 	}
 	f.stopped.Do(func() { close(f.stop) })
-	for range f.out {
-		// discard in-flight batches until the closer closes the channel
+	for b := range f.out {
+		// recycle in-flight batches until the closer closes the channel
+		putRowBuf(b.rows)
 	}
 	f.wg.Wait()
+	if f.cur != nil {
+		putRowBuf(f.cur)
+		f.cur, f.pos = nil, 0
+	}
+	f.done = true
 }
 
 // parallelScanIter is the exchange operator over a heap scan: the file's
@@ -233,7 +242,7 @@ func (s *parallelScanIter) scanPartition(lo, hi int) {
 		}
 		count++
 		if count%1024 == 0 {
-			if err := s.e.checkBudget(); err != nil {
+			if err := s.e.checkAbort(); err != nil {
 				putRowBuf(buf)
 				s.fan.send(rowBatch{err: err})
 				return

@@ -85,11 +85,14 @@ func (cp *compiledPred) eval(e *Env, row expr.Row) (expr.Value, error) {
 			if v, ok := e.Cache.Lookup(owner, key); ok {
 				return v, nil
 			}
-			v := p.Func.Invoke(args)
+			v, err := p.Func.InvokeErr(args)
+			if err != nil {
+				return expr.Null, err
+			}
 			e.Cache.Store(owner, key, v)
 			return v, nil
 		}
-		return p.Func.Invoke(args), nil
+		return p.Func.InvokeErr(args)
 	}
 	return expr.Null, fmt.Errorf("exec: unknown predicate kind %d", p.Kind)
 }
@@ -105,8 +108,9 @@ func (cp *compiledPred) holds(e *Env, row expr.Row) (bool, error) {
 	return known && b, nil
 }
 
-// budgetEvery is the input-row cadence of filter budget checks (matching
-// the legacy tuple-at-a-time filter's every-32-rows check).
+// budgetEvery is the input-row cadence of filter abort checks — budget and
+// cancellation alike (matching the legacy tuple-at-a-time filter's
+// every-32-rows check).
 const budgetEvery = 32
 
 // predScratch holds the reusable buffers of batched predicate evaluation,
@@ -133,7 +137,7 @@ func (cp *compiledPred) holdsBatch(e *Env, rows []expr.Row, keep []bool, count *
 	tick := func() error {
 		*count++
 		if *count%budgetEvery == 0 {
-			return e.checkBudget()
+			return e.checkAbort()
 		}
 		return nil
 	}
@@ -180,7 +184,10 @@ func (cp *compiledPred) holdsBatch(e *Env, rows []expr.Row, keep []bool, count *
 				for k, idx := range cp.argIdx {
 					args[k] = row[idx]
 				}
-				v = p.Func.Invoke(args)
+				var err error
+				if v, err = p.Func.InvokeErr(args); err != nil {
+					return err
+				}
 			}
 			b, known := v.Bool()
 			keep[i] = known && b
@@ -228,7 +235,7 @@ func (cp *compiledPred) holdsBatchCached(e *Env, rows []expr.Row, keep []bool, c
 	for i := range entries {
 		*count++
 		if *count%budgetEvery == 0 {
-			if err := e.checkBudget(); err != nil {
+			if err := e.checkAbort(); err != nil {
 				return err
 			}
 		}
@@ -237,7 +244,11 @@ func (cp *compiledPred) holdsBatchCached(e *Env, rows []expr.Row, keep []bool, c
 			for k, idx := range cp.argIdx {
 				args[k] = rows[i][idx]
 			}
-			entries[i].Val = p.Func.Invoke(args)
+			v, err := p.Func.InvokeErr(args)
+			if err != nil {
+				return err
+			}
+			entries[i].Val = v
 		case pcache.BatchDup:
 			entries[i].Val = entries[entries[i].Dup].Val
 		}

@@ -59,9 +59,12 @@ func Run(e *Env, root plan.Node) (*Result, error) {
 	}
 	rows, err := pump(e, it, res)
 	cerr := it.Close()
-	if err == ErrBudgetExceeded {
+	if errors.Is(err, ErrBudgetExceeded) {
 		// The abort is the measurement (the paper's "did not finish"); a
 		// Close failure after it would still be a real engine error.
+		// Cancellation and injected faults are NOT folded into DNF — they
+		// surface as wrapped errors (the abort is an outcome of the run, not
+		// part of the measurement).
 		res.DNF = true
 		err = nil
 	}
@@ -133,6 +136,7 @@ func MatchingTIDs(e *Env, tableName string, preds []*query.Predicate) ([]storage
 	var out []storage.TID
 	it := tab.Heap.Scan()
 	defer it.Close()
+	count := 0
 	for {
 		rec, tid, ok, err := it.Next()
 		if err != nil {
@@ -140,6 +144,12 @@ func MatchingTIDs(e *Env, tableName string, preds []*query.Predicate) ([]storage
 		}
 		if !ok {
 			return out, nil
+		}
+		count++
+		if count%1024 == 0 {
+			if err := e.checkAbort(); err != nil {
+				return nil, err
+			}
 		}
 		row, err := tab.Codec.Decode(rec)
 		if err != nil {

@@ -31,14 +31,34 @@ type FuncDef struct {
 	RealWork bool
 	// Eval computes the function. It must be deterministic when Cacheable.
 	Eval func(args []Value) Value
+	// EvalErr, when set, is used instead of Eval by error-aware callers
+	// (the executor): functions whose evaluation performs fallible real work
+	// — subquery predicates reading pages through the buffer pool — report
+	// failures here instead of silently folding them into a truth value.
+	EvalErr func(args []Value) (Value, error)
 
 	calls atomic.Int64
 }
 
-// Invoke evaluates the function on args, counting the invocation.
+// Invoke evaluates the function on args, counting the invocation. Functions
+// defined with EvalErr yield NULL here when evaluation fails; error-aware
+// callers (the executor) use InvokeErr instead.
 func (f *FuncDef) Invoke(args []Value) Value {
+	v, err := f.InvokeErr(args)
+	if err != nil {
+		return Null
+	}
+	return v
+}
+
+// InvokeErr evaluates the function on args, counting the invocation and
+// propagating an evaluation error when the function defines EvalErr.
+func (f *FuncDef) InvokeErr(args []Value) (Value, error) {
 	f.calls.Add(1)
-	return f.Eval(args)
+	if f.EvalErr != nil {
+		return f.EvalErr(args)
+	}
+	return f.Eval(args), nil
 }
 
 // Calls returns the number of invocations since the last ResetCalls.

@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// ctxAbortPathFragments restricts ctxabort to the executor, where the
+// cancellation contract lives.
+var ctxAbortPathFragments = []string{"internal/exec"}
+
+// CtxAbortAnalyzer flags executor loops that charge cost without observing
+// the abort check. Cancellation and deadlines piggyback on the budget-check
+// cadence (Env.checkAbort); a loop that calls Charge* but never reaches a
+// checkAbort call keeps charging — and keeps running — after the query was
+// canceled, turning a deadline into a hang. The check is syntactic: a for or
+// range statement whose body contains a Charge* call must also contain a
+// checkAbort call (directly or in a nested node). Loops whose cadence lives
+// in a helper the loop calls can suppress with `//pplint:ignore ctxabort
+// <reason>`.
+var CtxAbortAnalyzer = &Analyzer{
+	Name: "ctxabort",
+	Doc:  "flags internal/exec loops calling Charge* without a checkAbort call",
+	Run:  runCtxAbort,
+}
+
+func runCtxAbort(pass *Pass) error {
+	if !pathMatchesAny(pass.Pkg.Path, ctxAbortPathFragments) {
+		return nil
+	}
+	for _, f := range pass.Pkg.Files {
+		name := pass.Pkg.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch t := n.(type) {
+			case *ast.ForStmt:
+				body = t.Body
+			case *ast.RangeStmt:
+				body = t.Body
+			default:
+				return true
+			}
+			charge, abort := loopCallNames(body)
+			if charge != "" && !abort {
+				pass.Reportf(n.Pos(),
+					"loop charges cost (%s) without a reachable checkAbort call; cancellation cannot interrupt it — add the abort check on the loop's cadence", charge)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// loopCallNames scans a loop body (including nested statements) for Charge*
+// and checkAbort calls, returning the first Charge* callee name seen and
+// whether any checkAbort call is present.
+func loopCallNames(body *ast.BlockStmt) (charge string, abort bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var callee string
+		switch f := call.Fun.(type) {
+		case *ast.Ident:
+			callee = f.Name
+		case *ast.SelectorExpr:
+			callee = f.Sel.Name
+		default:
+			return true
+		}
+		if callee == "checkAbort" {
+			abort = true
+		} else if isChargeCall(callee) && charge == "" {
+			charge = callee
+		}
+		return true
+	})
+	return charge, abort
+}
+
+// isChargeCall matches the Env charging mutators (Charge, ChargeSynthetic,
+// ChargeSpillTuple, …) while excluding Charged*/ChargedCost — those are
+// accounting reads, not charges.
+func isChargeCall(name string) bool {
+	return strings.HasPrefix(name, "Charge") && !strings.HasPrefix(name, "Charged")
+}

@@ -20,6 +20,9 @@
 //   - batchcontract:    exec NextBatch implementations must not retain or
 //     grow their caller-owned dst buffer, must return 0 on
 //     error, and call sites must not blank the error.
+//   - ctxabort:         internal/exec loops that charge cost (Charge*) must
+//     also observe the abort check (checkAbort), or
+//     cancellation cannot interrupt them.
 //
 // A diagnostic can be suppressed with a `//pplint:ignore <analyzer> [reason]`
 // comment on the flagged line or the line directly above it; use sparingly
@@ -87,6 +90,7 @@ func Analyzers() []*Analyzer {
 		ExhaustiveSwitchAnalyzer,
 		NodeContractAnalyzer,
 		BatchContractAnalyzer,
+		CtxAbortAnalyzer,
 	}
 }
 

@@ -392,6 +392,112 @@ func (i *iter) NextBatch(dst []int) (int, error) {
 `,
 			want: 0,
 		},
+		{
+			name:     "ctxabort flags charging loop without abort check",
+			analyzer: "ctxabort",
+			path:     "example.com/internal/exec",
+			src: `package exec
+
+type env struct{}
+
+func (e *env) ChargeSpillTuple()   {}
+func (e *env) checkAbort() error   { return nil }
+
+func build(e *env, rows []int) {
+	for range rows {
+		e.ChargeSpillTuple()
+	}
+}
+`,
+			want:    1,
+			wantSub: "checkAbort",
+		},
+		{
+			name:     "ctxabort accepts loop with abort on its cadence",
+			analyzer: "ctxabort",
+			path:     "example.com/internal/exec",
+			src: `package exec
+
+type env struct{}
+
+func (e *env) ChargeSpillTuple()   {}
+func (e *env) checkAbort() error   { return nil }
+
+func build(e *env, rows []int) error {
+	count := 0
+	for range rows {
+		e.ChargeSpillTuple()
+		count++
+		if count%1024 == 0 {
+			if err := e.checkAbort(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+`,
+			want: 0,
+		},
+		{
+			name:     "ctxabort accepts abort in a nested loop node",
+			analyzer: "ctxabort",
+			path:     "example.com/internal/exec",
+			src: `package exec
+
+type env struct{}
+
+func (e *env) ChargeSynthetic(f float64) {}
+func (e *env) checkAbort() error         { return nil }
+
+func drain(e *env, batches [][]int) error {
+	for _, b := range batches {
+		for range b {
+			e.ChargeSynthetic(1)
+			if err := e.checkAbort(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+`,
+			want: 0,
+		},
+		{
+			name:     "ctxabort ignores charge-free loops",
+			analyzer: "ctxabort",
+			path:     "example.com/internal/exec",
+			src: `package exec
+
+func sum(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+`,
+			want: 0,
+		},
+		{
+			name:     "ctxabort ignores packages outside exec",
+			analyzer: "ctxabort",
+			path:     "example.com/internal/storage",
+			src: `package storage
+
+type env struct{}
+
+func (e *env) ChargeSpillTuple() {}
+
+func build(e *env, rows []int) {
+	for range rows {
+		e.ChargeSpillTuple()
+	}
+}
+`,
+			want: 0,
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -422,8 +528,8 @@ func renderDiags(diags []Diagnostic) string {
 
 func TestSuiteRegistry(t *testing.T) {
 	all := Analyzers()
-	if len(all) != 6 {
-		t.Fatalf("suite has %d analyzers, want 6", len(all))
+	if len(all) != 7 {
+		t.Fatalf("suite has %d analyzers, want 7", len(all))
 	}
 	seen := map[string]bool{}
 	for _, a := range all {

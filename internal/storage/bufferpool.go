@@ -112,6 +112,24 @@ func (bp *BufferPool) Capacity() int { return bp.capacity }
 // Shards returns the number of lock shards.
 func (bp *BufferPool) Shards() int { return len(bp.shards) }
 
+// PinnedFrames returns the number of resident frames with at least one pin —
+// the leak-audit introspection: after any query teardown (success, DNF,
+// cancellation, or injected fault) it must be zero.
+func (bp *BufferPool) PinnedFrames() int {
+	n := 0
+	for i := range bp.shards {
+		s := &bp.shards[i]
+		s.mu.Lock()
+		for _, fr := range s.frames {
+			if fr.pins > 0 {
+				n++
+			}
+		}
+		s.mu.Unlock()
+	}
+	return n
+}
+
 // HitRate returns (hits, misses) since creation or the last ResetCounters.
 // A goroutine that waits out another's in-flight read of the same page
 // counts as a hit (it cost no physical I/O).

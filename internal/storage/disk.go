@@ -3,6 +3,7 @@ package storage
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Disk simulates a disk: a set of files, each an append-only array of pages.
@@ -15,6 +16,10 @@ type Disk struct {
 	files map[FileID][]*Page
 	next  FileID
 	acct  *Accountant
+	// faults, when set, is consulted before every physical read and write;
+	// an injected fault fails the I/O without charging it (the page never
+	// transferred). See faultfs.go.
+	faults atomic.Pointer[FaultInjector]
 }
 
 // NewDisk creates an empty disk recording I/O into acct.
@@ -27,6 +32,13 @@ func NewDisk(acct *Accountant) *Disk {
 
 // Accountant returns the disk's I/O accountant.
 func (d *Disk) Accountant() *Accountant { return d.acct }
+
+// SetFaults installs (or, with nil, removes) a fault injector under every
+// subsequent page read and write.
+func (d *Disk) SetFaults(fi *FaultInjector) { d.faults.Store(fi) }
+
+// Faults returns the installed fault injector (nil when fault-free).
+func (d *Disk) Faults() *FaultInjector { return d.faults.Load() }
 
 // CreateFile allocates a new empty file and returns its id.
 func (d *Disk) CreateFile() FileID {
@@ -72,6 +84,11 @@ func (d *Disk) ReadPage(f FileID, p PageID) (*Page, error) {
 	if pg == nil {
 		return nil, fmt.Errorf("storage: read beyond EOF: file %d page %d", f, p)
 	}
+	if fi := d.faults.Load(); fi != nil {
+		if err := fi.beforeRead(f, p); err != nil {
+			return nil, err
+		}
+	}
 	d.acct.RecordRead(f, p)
 	return pg, nil
 }
@@ -86,6 +103,11 @@ func (d *Disk) WritePage(f FileID, p PageID) error {
 	d.mu.Unlock()
 	if bad {
 		return fmt.Errorf("storage: write beyond EOF: file %d page %d", f, p)
+	}
+	if fi := d.faults.Load(); fi != nil {
+		if err := fi.beforeWrite(f, p); err != nil {
+			return err
+		}
 	}
 	d.acct.RecordWrite()
 	return nil

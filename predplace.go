@@ -18,12 +18,14 @@
 package predplace
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"runtime"
 	"sort"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"predplace/internal/btree"
 	"predplace/internal/catalog"
@@ -95,6 +97,10 @@ type Config struct {
 	// are identical at every setting — batching only amortizes per-row
 	// interface calls, lock acquisitions, and allocations.
 	BatchSize int
+	// Timeout bounds each query's wall-clock execution time (0 = none).
+	// A timed-out query unwinds through the executor's ordinary error path
+	// and returns an error satisfying errors.Is(err, context.DeadlineExceeded).
+	Timeout time.Duration
 }
 
 // DB is an open database handle. Handles are safe for sequential use; run
@@ -107,6 +113,7 @@ type DB struct {
 	budget      float64
 	parallelism int
 	batchSize   int
+	timeout     time.Duration
 	subSeq      atomic.Int64
 }
 
@@ -143,7 +150,7 @@ func Open(cfg Config) (*DB, error) {
 	return &DB{
 		inner: inner, caching: cfg.Caching, cacheScope: pcacheScope(cfg),
 		cacheMax: cfg.CacheMaxEntries, budget: cfg.Budget,
-		parallelism: workers, batchSize: cfg.BatchSize,
+		parallelism: workers, batchSize: cfg.BatchSize, timeout: cfg.Timeout,
 	}, nil
 }
 
@@ -213,6 +220,49 @@ func (d *DB) SetBatchSize(n int) { d.batchSize = n }
 
 // BatchSize reports the configured batch width (0 = tuned default).
 func (d *DB) BatchSize() int { return d.batchSize }
+
+// SetTimeout bounds each subsequent query's wall-clock time (0 = none).
+func (d *DB) SetTimeout(t time.Duration) { d.timeout = t }
+
+// FaultConfig configures the deterministic storage fault injector; see
+// SetFaults.
+type FaultConfig = storage.FaultConfig
+
+// ErrInjectedFault is the sentinel every injected storage fault wraps;
+// match it with errors.Is.
+var ErrInjectedFault = storage.ErrInjectedFault
+
+// ErrCanceled is the sentinel the executor wraps around a context
+// cancellation or deadline; the context cause (context.Canceled or
+// context.DeadlineExceeded) is also reachable through errors.Is.
+var ErrCanceled = exec.ErrCanceled
+
+// SetFaults installs a deterministic fault injector beneath the buffer pool
+// for subsequent queries: page reads and writes fail according to cfg
+// (the Nth I/O, a seeded probability per I/O, or both). Injected failures
+// surface as errors wrapping ErrInjectedFault; a failed I/O is never charged
+// to the cost accountant. Passing nil removes the injector.
+func (d *DB) SetFaults(cfg *FaultConfig) {
+	if cfg == nil {
+		d.inner.Disk.SetFaults(nil)
+		return
+	}
+	d.inner.Disk.SetFaults(storage.NewFaultInjector(*cfg))
+}
+
+// FaultCounts reports the installed injector's counters — page reads and
+// writes observed, and faults injected — all zero when no injector is set.
+func (d *DB) FaultCounts() (reads, writes, injected int64) {
+	if fi := d.inner.Disk.Faults(); fi != nil {
+		return fi.Counts()
+	}
+	return 0, 0, 0
+}
+
+// PinnedFrames reports how many buffer-pool frames are currently pinned.
+// Between queries it must be zero — any other value is a page leak; the
+// test harness asserts this after every query, including aborted ones.
+func (d *DB) PinnedFrames() int { return d.inner.Pool.PinnedFrames() }
 
 // ColumnSpec declares a column of a user-created table.
 type ColumnSpec struct {
@@ -369,6 +419,17 @@ type Result struct {
 // Query parses, optimizes with the given algorithm, and (unless the
 // statement has an EXPLAIN prefix) executes the SQL text.
 func (d *DB) Query(sql string, algo Algorithm) (*Result, error) {
+	return d.QueryContext(context.Background(), sql, algo)
+}
+
+// QueryContext is Query with a context: cancellation or deadline expiry
+// aborts the running query promptly — serial, parallel, and batched
+// executors alike observe the context on the executor's budget-check
+// cadence and unwind through the ordinary error path (iterators close,
+// pages unpin, workers exit). The returned error wraps the context cause,
+// so errors.Is(err, context.Canceled) / context.DeadlineExceeded hold. A
+// configured Timeout applies on top of ctx.
+func (d *DB) QueryContext(ctx context.Context, sql string, algo Algorithm) (*Result, error) {
 	root, bound, info, err := d.plan(sql, algo)
 	if err != nil {
 		return nil, err
@@ -382,7 +443,9 @@ func (d *DB) Query(sql string, algo Algorithm) (*Result, error) {
 		res.Explained = true
 		return res, nil
 	}
-	env := d.newEnv()
+	ctx, cancel := d.execCtx(ctx)
+	defer cancel()
+	env := d.newEnv(ctx)
 	out, err := exec.Run(env, root)
 	if err != nil {
 		return nil, err
@@ -450,9 +513,20 @@ func (d *DB) Explain(sql string, algo Algorithm) (string, error) {
 	return plan.Render(root), nil
 }
 
-// newEnv builds a fresh execution environment.
-func (d *DB) newEnv() *exec.Env {
+// execCtx layers the configured per-query timeout onto ctx; the returned
+// cancel function must be called when the query finishes (it is a release,
+// not an abort, once the query is done).
+func (d *DB) execCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if d.timeout > 0 {
+		return context.WithTimeout(ctx, d.timeout)
+	}
+	return ctx, func() {}
+}
+
+// newEnv builds a fresh execution environment bound to ctx.
+func (d *DB) newEnv(ctx context.Context) *exec.Env {
 	return &exec.Env{
+		Ctx:         ctx,
 		Cat:         d.inner.Cat,
 		Pool:        d.inner.Pool,
 		Acct:        d.inner.Disk.Accountant(),
@@ -574,22 +648,28 @@ func (d *DB) compileSubquery(sub *sqlparse.SelectStmt, not bool, args []query.Co
 		Cacheable:   true,
 		RealWork:    true,
 	}
-	f.Eval = func(vals []expr.Value) expr.Value {
+	f.EvalErr = func(vals []expr.Value) (expr.Value, error) {
 		if vals[0].IsNull() {
-			return expr.Null
+			return expr.Null, nil
 		}
 		// The scan reads through the shared buffer pool, so the subquery's
-		// page traffic is charged to the running query's accountant.
+		// page traffic is charged to the running query's accountant. A scan
+		// or decode failure propagates instead of folding into a truth value
+		// — under injected faults a silently-wrong answer would be worse
+		// than the fault itself.
 		it := tab.Heap.Scan()
 		defer it.Close()
 		for {
 			rec, _, ok, err := it.Next()
-			if err != nil || !ok {
+			if err != nil {
+				return expr.Null, fmt.Errorf("predplace: subquery scan of %s: %w", subTable, err)
+			}
+			if !ok {
 				break
 			}
 			row, err := tab.Codec.Decode(rec)
 			if err != nil {
-				return expr.Null
+				return expr.Null, fmt.Errorf("predplace: subquery decode of %s: %w", subTable, err)
 			}
 			match := true
 			for _, lc := range locals {
@@ -607,10 +687,10 @@ func (d *DB) compileSubquery(sub *sqlparse.SelectStmt, not bool, args []query.Co
 				}
 			}
 			if match && row[outIdx].Equal(vals[0]) {
-				return expr.B(!not)
+				return expr.B(!not), nil
 			}
 		}
-		return expr.B(not)
+		return expr.B(not), nil
 	}
 	if err := d.inner.Cat.RegisterFunc(f); err != nil {
 		return nil, err
@@ -757,7 +837,9 @@ func (d *DB) Exec(sql string) (int, error) {
 	preds := append([]*query.Predicate(nil), q.Preds...)
 	sortPredsByRank(preds)
 
-	env := d.newEnv()
+	ctx, cancel := d.execCtx(context.Background())
+	defer cancel()
+	env := d.newEnv(ctx)
 	tids, err := exec.MatchingTIDs(env, del.Table, preds)
 	if err != nil {
 		return 0, err
