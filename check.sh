@@ -40,4 +40,10 @@ echo "==> fault/timeout gate (ppbench -faults)"
 # wrapping the injected fault, or leaks pinned frames/goroutines.
 go run ./cmd/ppbench -faults -seeds 2 -workers 4 -scale 0.02
 
+echo "==> profiling gate (ppbench -profile)"
+# Runs Queries 1-5 plus the Figure 1 example, each unprofiled and then with
+# per-operator profiling on; exits nonzero if profiling changes any result
+# set or charged cost (profiling must be strictly observational).
+go run ./cmd/ppbench -profile -json -scale 0.02
+
 echo "OK"

@@ -8,6 +8,7 @@
 //	ppbench -parallel [-workers N] [-iters N] [-json] [-scale 0.1 | -scales 0.02,0.1]
 //	ppbench -batch [-workers N] [-iters N] [-json] [-scale 0.1 | -scales 0.02,0.1]
 //	ppbench -faults [-seeds N] [-workers N] [-json] [-scale 0.1]
+//	ppbench -profile [-iters N] [-json] [-scale 0.1]
 //
 // Measurements are charged costs in random-I/O units (page I/Os plus
 // function invocations × per-call cost — the paper's methodology), reported
@@ -32,6 +33,12 @@
 // injected fault, a DNF, or a deadline error — with zero pinned buffer-pool
 // frames afterwards; -json writes BENCH_faults.json. Fault and timeout runs
 // never contribute to the figure reproductions.
+//
+// With -profile, Queries 1–5 plus the §3.1 Figure 1 example each run
+// unprofiled and then with per-operator profiling on; results and charged
+// costs must match exactly (profiling is observational). The profiled runs'
+// per-operator est-vs-actual trees are printed and, with -json, written to
+// BENCH_profile.json.
 package main
 
 import (
@@ -55,6 +62,7 @@ func main() {
 	parallel := flag.Bool("parallel", false, "run the serial-vs-parallel execution bench instead of the figures")
 	batch := flag.Bool("batch", false, "run the tuple-vs-batch-vs-parallel execution bench instead of the figures")
 	faults := flag.Bool("faults", false, "run the fault/timeout sweep instead of the figures")
+	profile := flag.Bool("profile", false, "run the per-operator profiling bench instead of the figures")
 	seeds := flag.Int("seeds", 3, "with -faults, fault sites tried per query")
 	workers := flag.Int("workers", 0, "parallel worker fan-out (0 = max(4, GOMAXPROCS))")
 	iters := flag.Int("iters", 1, "with -parallel/-batch, time each mode best-of-N runs")
@@ -68,6 +76,11 @@ func main() {
 
 	if *faults {
 		runFaultBench(*scale, resolveWorkers(*workers), *seeds, *jsonOut)
+		return
+	}
+
+	if *profile {
+		runProfileBench(*scale, *iters, *jsonOut)
 		return
 	}
 
@@ -234,6 +247,36 @@ func runFaultBench(scale float64, workers, seeds int, jsonOut bool) {
 	}
 	if !bench.Pass {
 		fmt.Fprintln(os.Stderr, "ppbench: fault sweep violated the failure contract")
+		os.Exit(1)
+	}
+}
+
+// runProfileBench executes the per-operator profiling bench (Queries 1–5
+// plus the Figure 1 example, each unprofiled then profiled) and exits
+// nonzero when profiling changes any result or charged cost.
+func runProfileBench(scale float64, iters int, jsonOut bool) {
+	fmt.Fprintf(os.Stderr, "building benchmark database at scale %.3f (%d iters)…\n", scale, iters)
+	h, err := harness.New(scale)
+	if err != nil {
+		fatal(err)
+	}
+	bench, err := h.RunProfileBench(iters)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(bench)
+	if jsonOut {
+		data, err := bench.JSON()
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile("BENCH_profile.json", append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "wrote BENCH_profile.json")
+	}
+	if !bench.Pass {
+		fmt.Fprintln(os.Stderr, "ppbench: profiling changed results or charged costs")
 		os.Exit(1)
 	}
 }

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +20,8 @@ func main() {
 	scale := flag.Float64("scale", 0.05, "database scale factor")
 	caching := flag.Bool("caching", false, "plan with predicate caching enabled")
 	run := flag.Bool("run", false, "also execute each plan and report charged costs")
+	analyze := flag.Bool("analyze", false, "execute each plan and annotate nodes with est/actual rows (EXPLAIN ANALYZE)")
+	jsonOut := flag.Bool("json", false, "with -analyze, also print each per-operator profile tree as JSON")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: ppexplain [flags] 'SELECT …'")
@@ -31,6 +34,23 @@ func main() {
 		fatal(err)
 	}
 
+	if *analyze {
+		for _, a := range predplace.Algorithms() {
+			res, err := db.Query("EXPLAIN ANALYZE "+sql, a)
+			if err != nil {
+				fatal(fmt.Errorf("%v: %w", a, err))
+			}
+			fmt.Printf("-- %s\n%s\n", a, res.Plan)
+			if *jsonOut && res.Profile != nil {
+				buf, err := json.MarshalIndent(res.Profile, "", "  ")
+				if err != nil {
+					fatal(err)
+				}
+				fmt.Printf("%s\n", buf)
+			}
+		}
+		return
+	}
 	if *run {
 		algos := predplace.Algorithms()
 		results, err := db.CompareAll(sql, algos...)

@@ -24,10 +24,11 @@ func main() {
 	scale := flag.Float64("scale", 0.05, "database scale factor")
 	caching := flag.Bool("caching", false, "start with predicate caching enabled")
 	timeout := flag.Duration("timeout", 0, "per-query wall-clock deadline (e.g. 5s; 0 = none)")
+	profile := flag.Bool("profile", false, "profile every query and print the per-operator tree as JSON")
 	flag.Parse()
 
 	fmt.Fprintf(os.Stderr, "loading benchmark database at scale %.3f…\n", *scale)
-	db, err := predplace.Open(predplace.Config{Scale: *scale, Caching: *caching, Timeout: *timeout})
+	db, err := predplace.Open(predplace.Config{Scale: *scale, Caching: *caching, Timeout: *timeout, Profile: *profile})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ppsql:", err)
 		os.Exit(1)

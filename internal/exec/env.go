@@ -71,6 +71,14 @@ type Env struct {
 	// preserve serial evaluation order, so results and charged cost are
 	// identical at every setting.
 	BatchSize int
+	// Profile enables per-operator runtime profiling (EXPLAIN ANALYZE v2):
+	// every operator is wrapped in an instrumented iterator measuring wall
+	// time and attributing physical I/O, and predicates count evaluations,
+	// invocations, and cache traffic per plan node. Profiling is
+	// observational only — charged cost, results, and row order are
+	// byte-identical with it on or off; wall time is never charged. Off by
+	// default, keeping the hot paths allocation-free.
+	Profile bool
 
 	baseIO storage.IOStats
 	// syntheticIO accumulates bulk synthetic charges (external-sort spill);
@@ -82,6 +90,9 @@ type Env struct {
 
 	traceMu sync.Mutex
 	trace   map[plan.Node]*int64
+	// prof holds per-node runtime counters; non-nil only while Profile is
+	// on, so the default path never consults or allocates it per row.
+	prof map[plan.Node]*opCounters
 }
 
 // workers returns the effective parallel fan-out (1 = serial).
@@ -131,6 +142,11 @@ func (e *Env) begin() error {
 	e.syntheticIO = 0
 	e.spillTuples.Store(0)
 	e.trace = map[plan.Node]*int64{}
+	if e.Profile {
+		e.prof = map[plan.Node]*opCounters{}
+	} else {
+		e.prof = nil
+	}
 	return nil
 }
 
@@ -198,6 +214,20 @@ func (e *Env) nodeCounter(n plan.Node) *int64 {
 	return counter
 }
 
+// nodeProf returns the per-node profiling counters, creating them on first
+// use. Only called while profiling is on (e.prof non-nil); safe for
+// concurrent Build calls, like nodeCounter.
+func (e *Env) nodeProf(n plan.Node) *opCounters {
+	e.traceMu.Lock()
+	defer e.traceMu.Unlock()
+	c, ok := e.prof[n]
+	if !ok {
+		c = &opCounters{}
+		e.prof[n] = c
+	}
+	return c
+}
+
 // Stats reports the resources consumed by one executed query.
 type Stats struct {
 	// IO is the physical page traffic.
@@ -213,7 +243,10 @@ type Stats struct {
 	// CacheEntries is the number of cached bindings at query end (the
 	// paper's §5.1 hash tables are per-query, so this is their peak size).
 	CacheEntries int
-	// Rows is the number of result rows.
+	// Rows is the number of rows the executor produced. This is an executor
+	// measurement, not the size of the delivered result set: the SQL
+	// facade's LIMIT truncates Result.Rows after execution without touching
+	// this count, and COUNT(*) replaces it with the single aggregate row.
 	Rows int
 }
 

@@ -23,11 +23,15 @@ type Iterator interface {
 // Build compiles a physical plan into an iterator tree. When the Env is
 // tracing (Run always traces), every operator is wrapped with a per-node
 // row counter so EXPLAIN ANALYZE can print actual cardinalities next to the
-// optimizer's estimates.
+// optimizer's estimates. With profiling on the wrapper additionally measures
+// wall time and attributes physical I/O per operator.
 func Build(e *Env, n plan.Node) (Iterator, error) {
 	it, err := build(e, n)
 	if err != nil {
 		return nil, err
+	}
+	if e.prof != nil {
+		return &profIter{e: e, in: it, rows: e.nodeCounter(n), c: e.nodeProf(n)}, nil
 	}
 	if e.trace != nil {
 		return &countIter{in: it, rows: e.nodeCounter(n)}, nil
@@ -52,6 +56,9 @@ func build(e *Env, n plan.Node) (Iterator, error) {
 		cp, err := compilePred(t.Pred, t.Input.Cols())
 		if err != nil {
 			return nil, err
+		}
+		if e.prof != nil {
+			cp.prof = e.nodeProf(t)
 		}
 		if e.workers() > 1 && t.Pred.IsExpensive() {
 			return newParallelFilter(e, in, cp), nil

@@ -66,6 +66,9 @@ func newNLJoin(e *Env, j *plan.Join) (Iterator, error) {
 		if err != nil {
 			return nil, err
 		}
+		if e.prof != nil {
+			cp.prof = e.nodeProf(j)
+		}
 		it.primary = cp
 	}
 	return it, nil
@@ -265,11 +268,18 @@ type indexNLJoinIter struct {
 	tab       *catalog.Table
 	outKeyIdx int
 	residual  []*compiledPred // inner-side filters, innermost first
-	outerRow  expr.Row
-	matches   []expr.Row
-	pos       int
-	haveOut   bool
-	count     int
+	// Profiling attribution for the probe-driven inner chain, whose plan
+	// nodes are never built as iterators: baseRows counts heap rows the
+	// probes fetch (the base scan's output), residualRows[i] counts rows
+	// surviving residual[i] (that filter node's output). Nil when profiling
+	// is off — the default path is untouched.
+	baseRows     *int64
+	residualRows []*int64
+	outerRow     expr.Row
+	matches      []expr.Row
+	pos          int
+	haveOut      bool
+	count        int
 }
 
 func newIndexNLJoin(e *Env, j *plan.Join) (Iterator, error) {
@@ -315,10 +325,29 @@ func newIndexNLJoin(e *Env, j *plan.Join) (Iterator, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &indexNLJoinIter{
+	it := &indexNLJoinIter{
 		e: e, node: j, outer: outer, tab: tab,
 		outKeyIdx: outIdx, residual: residual,
-	}, nil
+	}
+	if e.prof != nil {
+		// Attribute the inner chain to its plan nodes: residual[i] was
+		// reversed out of BaseTable's filters, so its node is predNodes
+		// mirrored. When the base scan's own Matched predicate is part of
+		// the chain, surviving it is the base node's output; otherwise every
+		// fetched heap row is.
+		if base, predNodes, ok := plan.BaseTableNodes(j.Inner); ok {
+			it.residualRows = make([]*int64, len(residual))
+			for i := range residual {
+				node := predNodes[len(predNodes)-1-i]
+				it.residualRows[i] = e.nodeCounter(node)
+				residual[i].prof = e.nodeProf(node)
+			}
+			if len(predNodes) == 0 || predNodes[len(predNodes)-1] != base {
+				it.baseRows = e.nodeCounter(base)
+			}
+		}
+	}
+	return it, nil
 }
 
 func (n *indexNLJoinIter) Open() error { return n.outer.Open() }
@@ -344,8 +373,11 @@ func (n *indexNLJoinIter) Next() (expr.Row, bool, error) {
 					if err != nil {
 						return nil, false, err
 					}
+					if n.baseRows != nil {
+						*n.baseRows++
+					}
 					keep := true
-					for _, f := range n.residual {
+					for ri, f := range n.residual {
 						pass, err := f.holds(n.e, irow)
 						if err != nil {
 							return nil, false, err
@@ -353,6 +385,9 @@ func (n *indexNLJoinIter) Next() (expr.Row, bool, error) {
 						if !pass {
 							keep = false
 							break
+						}
+						if n.residualRows != nil {
+							*n.residualRows[ri]++
 						}
 					}
 					if keep {

@@ -20,6 +20,10 @@ type compiledPred struct {
 	constVal expr.Value // col-vs-const
 	// function predicates
 	argIdx []int
+	// prof, when profiling is on, receives this predicate's evaluation,
+	// invocation, and cache counters, attributed to the plan node the
+	// predicate executes at. Nil on the default path (no per-row overhead).
+	prof *opCounters
 }
 
 // compilePred resolves p's column references against cols.
@@ -83,23 +87,48 @@ func (cp *compiledPred) eval(e *Env, row expr.Row) (expr.Value, error) {
 			owner := e.Cache.Owner(p.ID, p.Func.Name)
 			key := pcache.Key(args)
 			if v, ok := e.Cache.Lookup(owner, key); ok {
+				if cp.prof != nil {
+					cp.prof.cacheHits.Add(1)
+				}
 				return v, nil
 			}
 			v, err := p.Func.InvokeErr(args)
 			if err != nil {
 				return expr.Null, err
 			}
+			if cp.prof != nil {
+				cp.prof.cacheMisses.Add(1)
+				cp.noteInvocation()
+			}
 			e.Cache.Store(owner, key, v)
 			return v, nil
+		}
+		if cp.prof != nil {
+			cp.noteInvocation()
 		}
 		return p.Func.InvokeErr(args)
 	}
 	return expr.Null, fmt.Errorf("exec: unknown predicate kind %d", p.Kind)
 }
 
+// noteInvocation counts one user-defined function call (and its per-call
+// charge) into the predicate's plan node. Callers check cp.prof != nil.
+func (cp *compiledPred) noteInvocation() {
+	cp.prof.invocations.Add(1)
+	if f := cp.pred.Func; !f.RealWork {
+		// RealWork functions charge through the I/O accountant instead of a
+		// per-call constant (expr.FuncDef.ChargedCost); mirror that here so
+		// per-node FuncCharge sums to Stats.FuncCharge.
+		cp.prof.addCharge(f.Cost)
+	}
+}
+
 // holds reports whether the predicate is satisfied (NULL and false both
 // reject the row, per SQL WHERE semantics).
 func (cp *compiledPred) holds(e *Env, row expr.Row) (bool, error) {
+	if cp.prof != nil {
+		cp.prof.predEvals.Add(1)
+	}
 	v, err := cp.eval(e, row)
 	if err != nil {
 		return false, err
@@ -143,6 +172,9 @@ func (cp *compiledPred) holdsBatch(e *Env, rows []expr.Row, keep []bool, count *
 	}
 	switch p.Kind {
 	case query.KindSelCmp:
+		if cp.prof != nil {
+			cp.prof.predEvals.Add(int64(len(rows)))
+		}
 		for i, row := range rows {
 			if err := tick(); err != nil {
 				return err
@@ -152,6 +184,9 @@ func (cp *compiledPred) holdsBatch(e *Env, rows []expr.Row, keep []bool, count *
 		}
 		return nil
 	case query.KindJoinCmp:
+		if cp.prof != nil {
+			cp.prof.predEvals.Add(int64(len(rows)))
+		}
 		for i, row := range rows {
 			if err := tick(); err != nil {
 				return err
@@ -176,6 +211,9 @@ func (cp *compiledPred) holdsBatch(e *Env, rows []expr.Row, keep []bool, count *
 			}
 			var v expr.Value
 			if e.Cache.Enabled() && p.Func.Cacheable {
+				if cp.prof != nil {
+					cp.prof.predEvals.Add(1)
+				}
 				var err error
 				if v, err = cp.eval(e, row); err != nil {
 					return err
@@ -183,6 +221,10 @@ func (cp *compiledPred) holdsBatch(e *Env, rows []expr.Row, keep []bool, count *
 			} else {
 				for k, idx := range cp.argIdx {
 					args[k] = row[idx]
+				}
+				if cp.prof != nil {
+					cp.prof.predEvals.Add(1)
+					cp.noteInvocation()
 				}
 				var err error
 				if v, err = p.Func.InvokeErr(args); err != nil {
@@ -232,6 +274,9 @@ func (cp *compiledPred) holdsBatchCached(e *Env, rows []expr.Row, keep []bool, c
 		sc.args = make([]expr.Value, len(cp.argIdx))
 	}
 	args := sc.args[:len(cp.argIdx)]
+	if cp.prof != nil {
+		cp.prof.predEvals.Add(int64(n))
+	}
 	for i := range entries {
 		*count++
 		if *count%budgetEvery == 0 {
@@ -244,13 +289,26 @@ func (cp *compiledPred) holdsBatchCached(e *Env, rows []expr.Row, keep []bool, c
 			for k, idx := range cp.argIdx {
 				args[k] = rows[i][idx]
 			}
+			if cp.prof != nil {
+				cp.prof.cacheMisses.Add(1)
+				cp.noteInvocation()
+			}
 			v, err := p.Func.InvokeErr(args)
 			if err != nil {
 				return err
 			}
 			entries[i].Val = v
 		case pcache.BatchDup:
+			// pcache counts an in-batch duplicate as a hit (the sequential
+			// execution it mirrors would have hit the just-stored entry).
+			if cp.prof != nil {
+				cp.prof.cacheHits.Add(1)
+			}
 			entries[i].Val = entries[entries[i].Dup].Val
+		default: // BatchHit
+			if cp.prof != nil {
+				cp.prof.cacheHits.Add(1)
+			}
 		}
 	}
 	e.Cache.PutBatch(owner, keys, entries)

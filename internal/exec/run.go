@@ -24,7 +24,12 @@ type Result struct {
 	DNF bool
 	// NodeRows maps plan nodes to the number of rows they actually produced
 	// (accumulated across nested-loop rescans) — EXPLAIN ANALYZE's data.
+	// With Env.Profile on every plan node has an entry (nodes the data flow
+	// never reached report 0); with it off, only nodes the executor built.
 	NodeRows map[plan.Node]int64
+	// Profile is the per-operator runtime profile tree (nil unless
+	// Env.Profile was on).
+	Profile *OpProfile
 }
 
 // collectTrace snapshots the per-node row counters.
@@ -48,6 +53,17 @@ func Run(e *Env, root plan.Node) (*Result, error) {
 	}
 	if err := e.begin(); err != nil {
 		return nil, err
+	}
+	if e.prof != nil {
+		// Pre-register every plan node's counters so the profile and
+		// NodeRows cover the whole tree — including subtrees the data flow
+		// never builds (an empty outer's nested-loop inner, the probe-driven
+		// inner chain of an index nested loop). An unreached node truthfully
+		// reports 0 rows instead of being absent ("actual=n/a").
+		plan.Walk(root, func(n plan.Node) {
+			e.nodeCounter(n)
+			e.nodeProf(n)
+		})
 	}
 	it, err := Build(e, root)
 	if err != nil {
@@ -73,6 +89,9 @@ func Run(e *Env, root plan.Node) (*Result, error) {
 	}
 	res.Stats = e.finish(rows)
 	res.NodeRows = collectTrace(e)
+	if e.prof != nil {
+		res.Profile = assembleProfile(e, root)
+	}
 	return res, nil
 }
 

@@ -23,6 +23,9 @@
 //   - ctxabort:         internal/exec loops that charge cost (Charge*) must
 //     also observe the abort check (checkAbort), or
 //     cancellation cannot interrupt them.
+//   - profileclean:     exec Next/NextBatch methods must not allocate per
+//     call outside the grow-once idiom, keeping the
+//     profiling-off hot path allocation-free.
 //
 // A diagnostic can be suppressed with a `//pplint:ignore <analyzer> [reason]`
 // comment on the flagged line or the line directly above it; use sparingly
@@ -91,6 +94,7 @@ func Analyzers() []*Analyzer {
 		NodeContractAnalyzer,
 		BatchContractAnalyzer,
 		CtxAbortAnalyzer,
+		ProfileCleanAnalyzer,
 	}
 }
 

@@ -498,6 +498,78 @@ func build(e *env, rows []int) {
 `,
 			want: 0,
 		},
+		{
+			name:     "profileclean flags per-call allocation in Next",
+			analyzer: "profileclean",
+			path:     "example.com/internal/exec",
+			src: `package exec
+
+type badIter struct{ vals []int }
+
+func (b *badIter) Next() ([]int, bool, error) {
+	row := make([]int, 4)
+	return row, true, nil
+}
+`,
+			want:    1,
+			wantSub: "allocation-free",
+		},
+		{
+			name:     "profileclean flags slice literal in NextBatch",
+			analyzer: "profileclean",
+			path:     "example.com/internal/exec",
+			src: `package exec
+
+type badIter struct{}
+
+func (b *badIter) NextBatch(dst []int) (int, error) {
+	tmp := []int{1, 2, 3}
+	return len(tmp), nil
+}
+`,
+			want:    1,
+			wantSub: "grow-once",
+		},
+		{
+			name:     "profileclean accepts the grow-once idiom and helpers",
+			analyzer: "profileclean",
+			path:     "example.com/internal/exec",
+			src: `package exec
+
+type okIter struct {
+	buf  []int
+	keep []bool
+}
+
+func (o *okIter) NextBatch(dst []int) (int, error) {
+	if cap(o.buf) < len(dst) {
+		o.buf = make([]int, len(dst))
+		o.keep = make([]bool, len(dst))
+	}
+	if o.keep == nil {
+		o.keep = make([]bool, len(dst))
+	}
+	return 0, nil
+}
+
+func (o *okIter) scratch(n int) []int { return make([]int, n) }
+
+func alloc(n int) []int { return make([]int, n) }
+`,
+			want: 0,
+		},
+		{
+			name:     "profileclean ignores non-iterator methods and other packages",
+			analyzer: "profileclean",
+			path:     "example.com/internal/storage",
+			src: `package storage
+
+type it struct{}
+
+func (i *it) Next() []int { return make([]int, 8) }
+`,
+			want: 0,
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -528,8 +600,8 @@ func renderDiags(diags []Diagnostic) string {
 
 func TestSuiteRegistry(t *testing.T) {
 	all := Analyzers()
-	if len(all) != 7 {
-		t.Fatalf("suite has %d analyzers, want 7", len(all))
+	if len(all) != 8 {
+		t.Fatalf("suite has %d analyzers, want 8", len(all))
 	}
 	seen := map[string]bool{}
 	for _, a := range all {

@@ -283,6 +283,40 @@ func BaseTable(n Node) (table string, filters []*query.Predicate, ok bool) {
 	}
 }
 
+// BaseTableNodes descends exactly like BaseTable but reports plan nodes: the
+// base scan and, aligned one-to-one with BaseTable's filters slice, the node
+// whose output each filter's survivors constitute (the Filter node itself;
+// the IndexScan for its own Matched predicate). The profiler uses this to
+// attribute an index-nested-loop's probe-driven inner chain — whose nodes
+// are never built as iterators — back to the plan tree.
+func BaseTableNodes(n Node) (base Node, predNodes []Node, ok bool) {
+	for {
+		switch t := n.(type) {
+		case *Filter:
+			predNodes = append(predNodes, t)
+			n = t.Input
+		case *SeqScan:
+			return t, predNodes, true
+		case *IndexScan:
+			if t.Matched != nil {
+				predNodes = append(predNodes, t)
+			}
+			return t, predNodes, true
+		default:
+			return nil, nil, false
+		}
+	}
+}
+
+// Walk visits every node of the subtree pre-order (parents before children,
+// outer before inner).
+func Walk(n Node, visit func(Node)) {
+	visit(n)
+	for _, c := range n.Children() {
+		Walk(c, visit)
+	}
+}
+
 // Tables returns the set of base tables referenced by the subtree.
 func Tables(n Node) map[string]bool {
 	out := map[string]bool{}

@@ -5,6 +5,7 @@
 package shell
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
@@ -193,4 +194,9 @@ func (s *Session) runSQL(sql string, w io.Writer) {
 		say(w, strings.Join(cells, " | "))
 	}
 	sayf(w, "%d rows; %s\n", res.Stats.Rows, res.Stats)
+	if res.Profile != nil {
+		if buf, err := json.MarshalIndent(res.Profile, "", "  "); err == nil {
+			sayf(w, "%s\n", buf)
+		}
+	}
 }

@@ -101,6 +101,14 @@ type Config struct {
 	// A timed-out query unwinds through the executor's ordinary error path
 	// and returns an error satisfying errors.Is(err, context.DeadlineExceeded).
 	Timeout time.Duration
+	// Profile enables per-operator runtime profiling for every query:
+	// Result.Profile carries an OpProfile tree pairing the optimizer's
+	// per-node estimates with actual rows, wall time, attributed I/O, and
+	// predicate/cache counters. Profiling is observational — results, row
+	// order, and charged cost are byte-identical with it on or off (wall
+	// time is never charged). Off by default; EXPLAIN ANALYZE profiles its
+	// one statement regardless of this setting.
+	Profile bool
 }
 
 // DB is an open database handle. Handles are safe for sequential use; run
@@ -114,6 +122,7 @@ type DB struct {
 	parallelism int
 	batchSize   int
 	timeout     time.Duration
+	profile     bool
 	subSeq      atomic.Int64
 }
 
@@ -151,6 +160,7 @@ func Open(cfg Config) (*DB, error) {
 		inner: inner, caching: cfg.Caching, cacheScope: pcacheScope(cfg),
 		cacheMax: cfg.CacheMaxEntries, budget: cfg.Budget,
 		parallelism: workers, batchSize: cfg.BatchSize, timeout: cfg.Timeout,
+		profile: cfg.Profile,
 	}, nil
 }
 
@@ -223,6 +233,13 @@ func (d *DB) BatchSize() int { return d.batchSize }
 
 // SetTimeout bounds each subsequent query's wall-clock time (0 = none).
 func (d *DB) SetTimeout(t time.Duration) { d.timeout = t }
+
+// SetProfile toggles per-operator runtime profiling for subsequent queries
+// (see Config.Profile). Profiling never changes results or charged cost.
+func (d *DB) SetProfile(on bool) { d.profile = on }
+
+// Profiling reports whether per-operator profiling is currently enabled.
+func (d *DB) Profiling() bool { return d.profile }
 
 // FaultConfig configures the deterministic storage fault injector; see
 // SetFaults.
@@ -396,20 +413,31 @@ type Stats = exec.Stats
 // PlanInfo carries the optimizer's diagnostics.
 type PlanInfo = optimizer.Info
 
+// OpProfile is one operator's runtime profile; see Result.Profile. The tree
+// mirrors the plan and has a stable JSON encoding (ppsql -profile emits it).
+type OpProfile = exec.OpProfile
+
 // Result is the outcome of Query.
 type Result struct {
 	// Cols names the output columns.
 	Cols []string
-	// Rows holds the output (nil for EXPLAIN or DNF).
+	// Rows holds the output (nil for EXPLAIN or DNF). LIMIT truncates this
+	// slice only: Stats.Rows keeps the executor's pre-LIMIT row count (the
+	// measurement), so len(Rows) ≤ Stats.Rows under a LIMIT.
 	Rows [][]Value
 	// Plan is the chosen plan rendered as a tree.
 	Plan string
 	// EstCost is the optimizer's estimate for the chosen plan.
 	EstCost float64
-	// Stats reports execution resource usage (zero for EXPLAIN).
+	// Stats reports execution resource usage (zero for EXPLAIN). Stats.Rows
+	// counts rows the executor produced, before any LIMIT truncation.
 	Stats Stats
 	// Info reports planning diagnostics.
 	Info PlanInfo
+	// Profile is the per-operator runtime profile (non-nil when profiling
+	// was on — Config.Profile/SetProfile — or the statement was EXPLAIN
+	// ANALYZE).
+	Profile *OpProfile
 	// DNF marks queries aborted by the charged-cost budget.
 	DNF bool
 	// Explained marks EXPLAIN statements (not executed).
@@ -446,37 +474,99 @@ func (d *DB) QueryContext(ctx context.Context, sql string, algo Algorithm) (*Res
 	ctx, cancel := d.execCtx(ctx)
 	defer cancel()
 	env := d.newEnv(ctx)
+	// EXPLAIN ANALYZE always profiles its statement: the profile is the
+	// point of the command, and every plan node then has an actual row
+	// count (probe-driven inner chains and never-reached subtrees
+	// included), so "actual=n/a" cannot appear.
+	env.Profile = d.profile || bound.Explain
 	out, err := exec.Run(env, root)
 	if err != nil {
 		return nil, err
 	}
 	res.Stats = out.Stats
 	res.DNF = out.DNF
+	res.Profile = out.Profile
 	if bound.Explain { // EXPLAIN ANALYZE: annotated plan, no result rows
 		res.Explained = true
-		res.Plan = plan.RenderWith(root, func(n plan.Node) string {
-			if rows, ok := out.NodeRows[n]; ok {
-				return fmt.Sprintf(" actual=%d", rows)
-			}
-			return " actual=n/a"
-		})
+		res.Plan = analyzedPlan(root, out)
 		return res, nil
 	}
 	res.Cols, res.Rows = project(root, bound, out)
-	finishResult(root, bound, res)
+	if err := finishResult(bound, res); err != nil {
+		return nil, err
+	}
 	return res, nil
+}
+
+// analyzedPlan renders the EXPLAIN ANALYZE tree: each node carries the
+// optimizer's row estimate, the measured row count, and the estimation-error
+// factor; a summary line totals the profile underneath.
+func analyzedPlan(root plan.Node, out *exec.Result) string {
+	rendered := plan.RenderWith(root, func(n plan.Node) string {
+		rows, ok := out.NodeRows[n]
+		if !ok {
+			return " actual=n/a"
+		}
+		return fmt.Sprintf(" est=%.0f actual=%d (%s)", n.Card(), rows, errFactorString(n.Card(), rows))
+	})
+	if out.Profile != nil {
+		rendered += profileSummary(out.Profile)
+	}
+	return rendered
+}
+
+// errFactorString renders the symmetric estimation-error factor ×max(a/e, e/a).
+func errFactorString(est float64, act int64) string {
+	a := float64(act)
+	if est <= 0 && a <= 0 {
+		return "×1.00"
+	}
+	if est <= 0 || a <= 0 {
+		return "×inf"
+	}
+	f := a / est
+	if f < 1 {
+		f = 1 / f
+	}
+	return maxErrString(f)
+}
+
+// profileSummary is the per-query summary line under an EXPLAIN ANALYZE
+// tree: inclusive wall time and I/O from the root window, predicate totals,
+// and the worst cardinality estimate in the tree.
+func profileSummary(p *OpProfile) string {
+	evals, inv, hits, misses := p.Totals()
+	maxErr, at := p.MaxErr()
+	s := fmt.Sprintf("total: wall=%.1fms io=%d predEvals=%d invocations=%d",
+		float64(p.WallNs)/1e6, p.IO.Total(), evals, inv)
+	if hits != 0 || misses != 0 {
+		s += fmt.Sprintf(" cache=%d/%d", hits, hits+misses)
+	}
+	return s + fmt.Sprintf(" maxErr=%s @ %s\n", maxErrString(maxErr), at)
+}
+
+// maxErrString formats an error factor, printing anything at or beyond the
+// profiler's cap as ×inf.
+func maxErrString(f float64) string {
+	if f >= exec.ErrFactorCap {
+		return "×inf"
+	}
+	return fmt.Sprintf("×%.2f", f)
 }
 
 // finishResult applies the post-plan result shaping: COUNT(*), ORDER BY,
 // and LIMIT. These operate on the result set (the optimizer's plan space is
 // the paper's — conjunctive filtering and joins); ORDER BY on large results
-// is an in-memory sort.
-func finishResult(root plan.Node, bound *sqlparse.Bound, res *Result) {
+// is an in-memory sort. An ORDER BY column that is not among the projected
+// output columns is an error: silently returning unsorted rows — or sorting
+// by a column position taken from the un-projected plan row layout — is a
+// wrong answer, not a degraded one.
+func finishResult(bound *sqlparse.Bound, res *Result) error {
 	if bound.CountStar {
 		res.Cols = []string{"count"}
 		res.Rows = [][]Value{{Int(int64(res.Stats.Rows))}}
 		res.Stats.Rows = 1 // one aggregate row is the result
-		return
+		return nil
 	}
 	if bound.OrderBy != nil {
 		idx := -1
@@ -486,22 +576,20 @@ func finishResult(root plan.Node, bound *sqlparse.Bound, res *Result) {
 			}
 		}
 		if idx < 0 {
-			// Star output: locate within the plan's column order.
-			idx = plan.ColIndex(root, *bound.OrderBy)
+			return fmt.Errorf("predplace: ORDER BY column %s is not in the select list", bound.OrderBy)
 		}
-		if idx >= 0 && idx < len(res.Cols) {
-			sort.SliceStable(res.Rows, func(a, b int) bool {
-				c := res.Rows[a][idx].Compare(res.Rows[b][idx])
-				if bound.Desc {
-					return c > 0
-				}
-				return c < 0
-			})
-		}
+		sort.SliceStable(res.Rows, func(a, b int) bool {
+			c := res.Rows[a][idx].Compare(res.Rows[b][idx])
+			if bound.Desc {
+				return c > 0
+			}
+			return c < 0
+		})
 	}
 	if bound.Limit >= 0 && int64(len(res.Rows)) > bound.Limit {
 		res.Rows = res.Rows[:bound.Limit]
 	}
+	return nil
 }
 
 // Explain returns the plan chosen by the given algorithm without executing.
