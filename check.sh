@@ -11,6 +11,14 @@ go vet ./...
 echo "==> go run ./cmd/pplint ./..."
 go run ./cmd/pplint ./...
 
+echo "==> pplint dataflow analyzers (pinbalance, chargeonce, atomicconsistency, lockbalance, suppress)"
+# The full run above already includes these; this explicit pass pins the
+# CFG/dataflow analyzers and the suppression audit as a named gate (and is
+# what CI should quote on failure). The second invocation self-cleans the
+# lint package: the analyzers must pass over their own implementation.
+go run ./cmd/pplint -only pinbalance,chargeonce,atomicconsistency,lockbalance,suppress ./...
+go run ./cmd/pplint ./internal/lint
+
 echo "==> go build ./..."
 go build ./...
 

@@ -1,22 +1,27 @@
 // Command pplint runs the repository's static-analysis suite (internal/lint)
-// over every package of the module: float-equality hazards in rank/cost
-// code, iterator Close-chain leaks, dropped errors, non-exhaustive enum
-// switches, and plan.Node contract violations.
+// over every package of the module: the per-statement matchers (float
+// equality, Close chains, dropped errors, enum switches, plan/exec
+// contracts) plus the CFG/dataflow analyzers (pin balance, charge-once
+// accounting, atomic consistency, lock balance) and the suppression audit.
 //
 // Usage:
 //
 //	go run ./cmd/pplint ./...
-//	go run ./cmd/pplint -disable errdrop ./...
-//	go run ./cmd/pplint -enable floatcmp,closechain ./internal/...
+//	go run ./cmd/pplint -skip errdrop ./...
+//	go run ./cmd/pplint -only pinbalance,lockbalance ./internal/...
+//	go run ./cmd/pplint -json ./... | jq .
 //	go run ./cmd/pplint -list
 //
 // Exit status: 0 clean, 1 diagnostics reported, 2 load/usage failure.
-// Diagnostics print as file:line:col: [analyzer] message. Suppress a single
-// finding with a `//pplint:ignore <analyzer> <reason>` comment on or above
-// the flagged line.
+// Diagnostics print as file:line:col: [analyzer] message, or as a JSON array
+// of objects with file/line/col/analyzer/message fields under -json (an
+// empty run prints []). Suppress a single finding with a
+// `//pplint:ignore <analyzer> <reason>` comment on or above the flagged
+// line; the suppress audit requires the reason and flags stale directives.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -32,12 +37,15 @@ func main() {
 func run(args []string) int {
 	fs := flag.NewFlagSet("pplint", flag.ContinueOnError)
 	var (
-		enable  = fs.String("enable", "", "comma-separated analyzers to run (default: all)")
-		disable = fs.String("disable", "", "comma-separated analyzers to skip")
+		only    = fs.String("only", "", "comma-separated analyzers to run (default: all)")
+		skip    = fs.String("skip", "", "comma-separated analyzers to skip")
+		enable  = fs.String("enable", "", "alias for -only (kept for compatibility)")
+		disable = fs.String("disable", "", "alias for -skip (kept for compatibility)")
+		jsonOut = fs.Bool("json", false, "emit diagnostics as a JSON array on stdout")
 		list    = fs.Bool("list", false, "list available analyzers and exit")
 	)
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: pplint [-enable a,b] [-disable a,b] [-list] [packages]")
+		fmt.Fprintln(os.Stderr, "usage: pplint [-only a,b] [-skip a,b] [-json] [-list] [packages]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -50,7 +58,17 @@ func run(args []string) int {
 		return 0
 	}
 
-	analyzers, err := selectAnalyzers(*enable, *disable)
+	onlyList, err := mergeFilter("-only/-enable", *only, *enable)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pplint:", err)
+		return 2
+	}
+	skipList, err := mergeFilter("-skip/-disable", *skip, *disable)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pplint:", err)
+		return 2
+	}
+	analyzers, err := selectAnalyzers(onlyList, skipList)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pplint:", err)
 		return 2
@@ -86,8 +104,15 @@ func run(args []string) int {
 		fmt.Fprintln(os.Stderr, "pplint:", err)
 		return 2
 	}
-	for _, d := range diags {
-		fmt.Println(d.String())
+	if *jsonOut {
+		if err := writeJSON(os.Stdout, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "pplint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d.String())
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "pplint: %d issue(s)\n", len(diags))
@@ -96,12 +121,52 @@ func run(args []string) int {
 	return 0
 }
 
-// selectAnalyzers applies -enable/-disable to the registry.
-func selectAnalyzers(enable, disable string) ([]*lint.Analyzer, error) {
+// jsonDiagnostic is the machine-readable diagnostic shape, stable for CI and
+// editor consumers.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// writeJSON emits the diagnostics as one JSON array ([] when clean).
+func writeJSON(w *os.File, diags []lint.Diagnostic) error {
+	out := make([]jsonDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiagnostic{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// mergeFilter combines a primary flag with its compatibility alias; setting
+// both to different lists is ambiguous and rejected.
+func mergeFilter(label, primary, alias string) (string, error) {
+	switch {
+	case primary == "":
+		return alias, nil
+	case alias == "" || alias == primary:
+		return primary, nil
+	default:
+		return "", fmt.Errorf("conflicting %s values %q and %q", label, primary, alias)
+	}
+}
+
+// selectAnalyzers applies -only/-skip to the registry.
+func selectAnalyzers(only, skip string) ([]*lint.Analyzer, error) {
 	chosen := lint.Analyzers()
-	if enable != "" {
+	if only != "" {
 		chosen = chosen[:0]
-		for _, name := range splitList(enable) {
+		for _, name := range splitList(only) {
 			a, ok := lint.ByName(name)
 			if !ok {
 				return nil, fmt.Errorf("unknown analyzer %q (try -list)", name)
@@ -109,17 +174,17 @@ func selectAnalyzers(enable, disable string) ([]*lint.Analyzer, error) {
 			chosen = append(chosen, a)
 		}
 	}
-	if disable != "" {
-		skip := map[string]bool{}
-		for _, name := range splitList(disable) {
+	if skip != "" {
+		skipSet := map[string]bool{}
+		for _, name := range splitList(skip) {
 			if _, ok := lint.ByName(name); !ok {
 				return nil, fmt.Errorf("unknown analyzer %q (try -list)", name)
 			}
-			skip[name] = true
+			skipSet[name] = true
 		}
 		kept := chosen[:0]
 		for _, a := range chosen {
-			if !skip[a.Name] {
+			if !skipSet[a.Name] {
 				kept = append(kept, a)
 			}
 		}

@@ -1,0 +1,630 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file is the resource-balance engine shared by pinbalance and
+// lockbalance: a forward may-leak dataflow over the CFG that tracks, per
+// acquisition site, whether the resource is still held, whether a deferred
+// release covers it, and whether its identifying error variable still
+// carries acquisition-failure information. The engine understands the three
+// idioms that make naive matching wrong:
+//
+//   - error-conditional acquisition: after `pg, err := bp.Fetch(f, p)`, the
+//     pin exists only where err == nil; the `if err != nil { return }` branch
+//     exits without a pin, and the engine drops the resource along that edge
+//     (condIdent refinement).
+//   - defer: `defer bp.Unpin(f, p, false)` (or a deferred closure releasing
+//     inside) satisfies every exit reachable after the defer executes,
+//     including error returns and explicit panics.
+//   - escape: a resource stored into a struct field (`it.cur = pg`), captured
+//     by a function literal, or returned transfers its release obligation to
+//     another function (iterator Close chains, audited by closechain and the
+//     runtime leak audit); the local function is off the hook.
+//
+// At the function's Exit block, any site still held with no deferred release
+// and no escape is reported: some path out of the function leaks it.
+
+// balFlags is the per-site dataflow state.
+type balFlags uint8
+
+const (
+	// balHeld: the resource is (may be) held on this path.
+	balHeld balFlags = 1 << iota
+	// balDeferred: a deferred release covering this site has been registered
+	// on this path.
+	balDeferred
+	// balErrValid: the site's error variable still reflects the acquisition
+	// outcome (cleared when the variable is reassigned).
+	balErrValid
+	// balValValid: the site's value variable still names the resource.
+	balValValid
+	// balPidValid: the site's id variable (NewPage's PageID) is still live
+	// for release-argument matching.
+	balPidValid
+)
+
+// balSite is one static acquisition site plus its flow-insensitive state.
+type balSite struct {
+	pos token.Pos
+	// callee is the acquiring method name, for messages.
+	callee string
+	// key identifies the resource for release matching (printed argument
+	// list for pins, lock kind + printed receiver for mutexes); "" unknown.
+	key string
+	// clashKey groups sites that contend for the same underlying resource
+	// (double-acquire detection); "" disables the check for this site.
+	clashKey string
+	// val, pid, err are the result variables bound at the acquisition.
+	val, pid, err types.Object
+	// shared marks shared acquisitions (RLock): re-acquiring shared-over-
+	// shared is legal and not reported.
+	shared bool
+	// escaped: the resource's obligation moved out of this function.
+	escaped bool
+	// reportedLeak / reportedDouble dedupe diagnostics per site.
+	reportedLeak   bool
+	reportedDouble bool
+}
+
+// balFact maps live acquisition sites to their path state.
+type balFact map[*balSite]balFlags
+
+func (f balFact) clone() balFact {
+	out := make(balFact, len(f))
+	for k, v := range f {
+		out[k] = v
+	}
+	return out
+}
+
+// balLattice is the may-leak join: held accumulates across paths (a leak on
+// any path is a leak), while deferred and the variable-validity bits must
+// hold on every path to be trusted.
+type balLattice struct{}
+
+func (balLattice) Entry() balFact { return balFact{} }
+
+func (balLattice) Join(a, b balFact) balFact {
+	out := make(balFact, len(a)+len(b))
+	for s, fa := range a {
+		if fb, ok := b[s]; ok {
+			held := (fa | fb) & balHeld
+			must := fa & fb & (balDeferred | balErrValid | balValValid | balPidValid)
+			out[s] = held | must
+		} else {
+			out[s] = fa
+		}
+	}
+	for s, fb := range b {
+		if _, ok := a[s]; !ok {
+			out[s] = fb
+		}
+	}
+	return out
+}
+
+func (balLattice) Equal(a, b balFact) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for s, fa := range a {
+		if fb, ok := b[s]; !ok || fa != fb {
+			return false
+		}
+	}
+	return true
+}
+
+// acquireSpec describes one recognized acquisition call.
+type acquireSpec struct {
+	callee   string
+	key      string
+	clashKey string
+	// valIdx/pidIdx/errIdx locate the value, id, and error results in the
+	// call's assignment (-1 = none).
+	valIdx, pidIdx, errIdx int
+	shared                 bool
+}
+
+// releaseSpec describes one recognized release call.
+type releaseSpec struct {
+	key string
+	// idArg, when non-nil, is the argument identifying the resource (Unpin's
+	// page argument), matched against sites' pid/val variables.
+	idArg ast.Expr
+}
+
+// balanceRules parameterizes the engine for one resource family.
+type balanceRules struct {
+	// noun names the resource in diagnostics ("pinned page", "lock").
+	noun string
+	// releaseHint completes the fix suggestion ("Unpin", "Unlock").
+	releaseHint string
+	// classifyAcquire returns the spec when call acquires the resource.
+	classifyAcquire func(pkg *Package, call *ast.CallExpr) (acquireSpec, bool)
+	// classifyRelease returns the spec when call releases the resource.
+	classifyRelease func(pkg *Package, call *ast.CallExpr) (releaseSpec, bool)
+	// doubleAcquire enables re-acquire-while-held reporting (locks).
+	doubleAcquire bool
+}
+
+// balanceEngine runs one function's analysis.
+type balanceEngine struct {
+	pass  *Pass
+	rules *balanceRules
+	cfg   *CFG
+	// sites gives every acquisition call a stable identity across the
+	// solver's repeated transfer evaluations.
+	sites map[token.Pos]*balSite
+}
+
+// runBalance applies the rules to every function (and function literal) of
+// the package.
+func runBalance(pass *Pass, rules *balanceRules) error {
+	for _, f := range pass.Pkg.Files {
+		for _, cfg := range FuncCFGs(f) {
+			eng := &balanceEngine{pass: pass, rules: rules, cfg: cfg, sites: map[token.Pos]*balSite{}}
+			res := ForwardSolve[balFact](cfg, balLattice{}, eng.transfer, eng.refine)
+			if !res.Converged {
+				continue // bail without reporting: no flapping positives
+			}
+			exitFact, ok := res.In[cfg.Exit]
+			if !ok {
+				continue // no path reaches the exit (e.g. infinite loop)
+			}
+			leaked := make([]*balSite, 0, len(exitFact))
+			for s, flags := range exitFact {
+				if flags&balHeld != 0 && flags&balDeferred == 0 && !s.escaped && !s.reportedLeak {
+					s.reportedLeak = true
+					leaked = append(leaked, s)
+				}
+			}
+			sort.Slice(leaked, func(i, j int) bool { return leaked[i].pos < leaked[j].pos })
+			for _, s := range leaked {
+				pass.Reportf(s.pos,
+					"%s acquired by %s is not released on every path out of %s; call %s on all paths or defer it (a deferred %s covers error returns and panics)",
+					rules.noun, s.callee, cfg.Name, rules.releaseHint, rules.releaseHint)
+			}
+		}
+	}
+	return nil
+}
+
+// transfer interprets one block's nodes over the fact.
+func (eng *balanceEngine) transfer(b *Block, in balFact) balFact {
+	fact := in.clone()
+	for _, n := range b.Nodes {
+		eng.node(n, fact)
+	}
+	return fact
+}
+
+// node applies one statement's (or guard expression's) effects.
+func (eng *balanceEngine) node(n ast.Node, fact balFact) {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		eng.assign(n.Lhs, n.Rhs, fact)
+	case *ast.DeclStmt:
+		gd, ok := n.Decl.(*ast.GenDecl)
+		if !ok {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok || len(vs.Values) == 0 {
+				continue
+			}
+			lhs := make([]ast.Expr, len(vs.Names))
+			for i, id := range vs.Names {
+				lhs[i] = id
+			}
+			eng.assign(lhs, vs.Values, fact)
+		}
+	case *ast.DeferStmt:
+		eng.deferred(n.Call, fact)
+	case *ast.ReturnStmt:
+		for _, r := range n.Results {
+			eng.escapeIfTracked(r, fact)
+		}
+	case *ast.RangeStmt:
+		// The head node rebinds Key/Value each iteration.
+		for _, e := range []ast.Expr{n.Key, n.Value} {
+			if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+				eng.invalidate(eng.obj(id), fact)
+			}
+		}
+		eng.scan(n.X, fact)
+	default:
+		if nn, ok := n.(ast.Node); ok {
+			eng.scan(nn, fact)
+		}
+	}
+}
+
+// assign handles acquisition binding, variable invalidation, and escapes.
+func (eng *balanceEngine) assign(lhs, rhs []ast.Expr, fact balFact) {
+	var acquired *balSite
+	// Form 1: v..., err := acquire(...).
+	if len(rhs) == 1 {
+		if call, ok := ast.Unparen(rhs[0]).(*ast.CallExpr); ok {
+			if spec, ok := eng.rules.classifyAcquire(eng.pass.Pkg, call); ok {
+				acquired = eng.acquire(call, spec, lhs, fact)
+			}
+		}
+	}
+	// Rebinding any tracked variable ends its association with older sites.
+	for _, l := range lhs {
+		if id, ok := ast.Unparen(l).(*ast.Ident); ok && id.Name != "_" {
+			eng.invalidateExcept(eng.obj(id), acquired, fact)
+		}
+	}
+	// Escapes: a tracked value flowing into a non-local location.
+	if len(lhs) == len(rhs) {
+		for i := range rhs {
+			if acquired != nil && i < len(rhs) && rhs[i] == nil {
+				continue
+			}
+			if _, isIdent := ast.Unparen(lhs[i]).(*ast.Ident); !isIdent {
+				eng.escapeIfTracked(rhs[i], fact)
+			} else {
+				// Plain-ident aliasing (pg2 := pg) is rare; treating the
+				// alias as an escape loses the leak check, so only non-ident
+				// destinations escape. Scan for releases inside the rhs.
+				eng.scanCallsOnly(rhs[i], fact)
+			}
+		}
+	} else {
+		for _, r := range rhs {
+			if acquired == nil || len(rhs) != 1 {
+				eng.scanCallsOnly(r, fact)
+			}
+		}
+	}
+}
+
+// acquire registers (or re-enters) an acquisition site and returns it.
+func (eng *balanceEngine) acquire(call *ast.CallExpr, spec acquireSpec, lhs []ast.Expr, fact balFact) *balSite {
+	site, ok := eng.sites[call.Pos()]
+	if !ok {
+		site = &balSite{
+			pos:      call.Pos(),
+			callee:   spec.callee,
+			key:      spec.key,
+			clashKey: spec.clashKey,
+			shared:   spec.shared,
+		}
+		bind := func(idx int) types.Object {
+			if idx < 0 || idx >= len(lhs) {
+				return nil
+			}
+			if id, ok := ast.Unparen(lhs[idx]).(*ast.Ident); ok && id.Name != "_" {
+				return eng.obj(id)
+			}
+			// Acquisition assigned straight into a field (it.cur, err =
+			// Fetch(...)): the resource escapes at birth.
+			if idx == spec.valIdx {
+				site.escaped = true
+			}
+			return nil
+		}
+		site.val = bind(spec.valIdx)
+		site.pid = bind(spec.pidIdx)
+		site.err = bind(spec.errIdx)
+		eng.sites[call.Pos()] = site
+	}
+	if eng.rules.doubleAcquire && !site.reportedDouble && site.clashKey != "" {
+		for other, flags := range fact {
+			if flags&balHeld == 0 || other.clashKey != site.clashKey {
+				continue
+			}
+			if site.shared && other.shared {
+				continue // RLock over RLock is legal
+			}
+			site.reportedDouble = true
+			pos := site.pos
+			eng.pass.Reportf(pos,
+				"%s %s may be acquired here while already held (acquired at line %d and not yet released on some path); possible self-deadlock",
+				eng.rules.noun, site.clashKey, eng.pass.Pkg.Fset.Position(other.pos).Line)
+			break
+		}
+	}
+	flags := balHeld
+	if site.err != nil {
+		flags |= balErrValid
+	}
+	if site.val != nil {
+		flags |= balValValid
+	}
+	if site.pid != nil {
+		flags |= balPidValid
+	}
+	fact[site] = flags
+	return site
+}
+
+// deferred registers a deferred call's releases against held sites.
+func (eng *balanceEngine) deferred(call *ast.CallExpr, fact balFact) {
+	apply := func(c *ast.CallExpr) {
+		if spec, ok := eng.rules.classifyRelease(eng.pass.Pkg, c); ok {
+			eng.release(spec, fact, true)
+		}
+	}
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		// defer func() { ... release ... }(): every release inside counts.
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if c, ok := n.(*ast.CallExpr); ok {
+				apply(c)
+			}
+			return true
+		})
+		return
+	}
+	apply(call)
+}
+
+// release clears (or defers) held sites matching the spec: first by key,
+// then by identifier argument, and as a last resort the single held site.
+func (eng *balanceEngine) release(spec releaseSpec, fact balFact, asDefer bool) {
+	mark := func(s *balSite) {
+		if asDefer {
+			fact[s] |= balDeferred
+		} else {
+			fact[s] &^= balHeld
+		}
+	}
+	matched := false
+	for s, flags := range fact {
+		if flags&balHeld == 0 && asDefer == false {
+			continue
+		}
+		if s.key != "" && spec.key != "" && s.key == spec.key {
+			mark(s)
+			matched = true
+		}
+	}
+	if matched {
+		return
+	}
+	// Identifier match: Unpin(file, pid, ...) releasing a NewPage site.
+	if id, ok := ast.Unparen(spec.idArg).(*ast.Ident); ok && spec.idArg != nil {
+		obj := eng.obj(id)
+		if obj != nil {
+			for s, flags := range fact {
+				if (s.pid == obj && flags&balPidValid != 0) || (s.val == obj && flags&balValValid != 0) {
+					mark(s)
+					matched = true
+				}
+			}
+		}
+	}
+	if matched {
+		return
+	}
+	// Single-held fallback: an unambiguous release of the only outstanding
+	// resource — but only when one side has no key to match on (NewPage has
+	// no static page id). When both sides carry keys that failed to match,
+	// the mismatch is the finding (RLock released by Unlock, wrong page),
+	// not a spelling variant to paper over.
+	var only *balSite
+	for s, flags := range fact {
+		if flags&balHeld != 0 {
+			if only != nil {
+				return // ambiguous; leave the fact alone
+			}
+			only = s
+		}
+	}
+	if only != nil && (only.key == "" || spec.key == "") {
+		mark(only)
+	}
+}
+
+// scan walks a statement or expression subtree applying call effects and
+// escape detection. Function-literal bodies are opaque for control flow but
+// capturing a tracked value in one transfers its obligation (escape).
+func (eng *balanceEngine) scan(root ast.Node, fact balFact) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			eng.escapeCaptures(n, fact)
+			return false
+		case *ast.CallExpr:
+			eng.call(n, fact)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				eng.escapeIfTracked(n.X, fact)
+			}
+		default:
+		}
+		return true
+	})
+}
+
+// scanCallsOnly applies call effects without treating the expression's
+// identifiers as escaping (used for rhs expressions feeding plain locals).
+func (eng *balanceEngine) scanCallsOnly(root ast.Node, fact balFact) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			eng.escapeCaptures(n, fact)
+			return false
+		case *ast.CallExpr:
+			eng.call(n, fact)
+		default:
+		}
+		return true
+	})
+}
+
+// call applies one call's acquire/release effect.
+func (eng *balanceEngine) call(call *ast.CallExpr, fact balFact) {
+	if spec, ok := eng.rules.classifyRelease(eng.pass.Pkg, call); ok {
+		eng.release(spec, fact, false)
+		return
+	}
+	if spec, ok := eng.rules.classifyAcquire(eng.pass.Pkg, call); ok {
+		// Result-discarding acquisition (bare `bp.Fetch(f, p)`): no bound
+		// variables, but the pin is real and must still be released.
+		eng.acquire(call, spec, nil, fact)
+	}
+}
+
+// escapeIfTracked marks sites whose value variable appears anywhere in e.
+func (eng *balanceEngine) escapeIfTracked(e ast.Expr, fact balFact) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			eng.escapeCaptures(lit, fact)
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := eng.obj(id)
+		if obj == nil {
+			return true
+		}
+		for s, flags := range fact {
+			if s.val == obj && flags&balValValid != 0 {
+				s.escaped = true
+			}
+		}
+		return true
+	})
+}
+
+// escapeCaptures marks tracked values referenced inside a function literal.
+func (eng *balanceEngine) escapeCaptures(lit *ast.FuncLit, fact balFact) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := eng.obj(id)
+		if obj == nil {
+			return true
+		}
+		for s, flags := range fact {
+			if s.val == obj && flags&balValValid != 0 {
+				s.escaped = true
+			}
+		}
+		return true
+	})
+}
+
+// invalidate clears variable associations with obj on every site.
+func (eng *balanceEngine) invalidate(obj types.Object, fact balFact) {
+	eng.invalidateExcept(obj, nil, fact)
+}
+
+// invalidateExcept clears associations with obj on every site but keep.
+func (eng *balanceEngine) invalidateExcept(obj types.Object, keep *balSite, fact balFact) {
+	if obj == nil {
+		return
+	}
+	for s, flags := range fact {
+		if s == keep {
+			continue
+		}
+		if s.err == obj {
+			fact[s] = flags &^ balErrValid
+			flags = fact[s]
+		}
+		if s.val == obj {
+			fact[s] = flags &^ balValValid
+			flags = fact[s]
+		}
+		if s.pid == obj {
+			fact[s] = flags &^ balPidValid
+		}
+	}
+}
+
+// refine drops acquisitions along their failure edges: on an edge taken only
+// when the site's error variable is non-nil, the acquisition never happened.
+func (eng *balanceEngine) refine(e *Edge, f balFact) balFact {
+	id, isNil, ok := condIdent(e)
+	if !ok {
+		return f
+	}
+	obj := eng.obj(id)
+	if obj == nil {
+		return f
+	}
+	var out balFact
+	for s, flags := range f {
+		if !isNil && flags&balErrValid != 0 && s.err == obj {
+			if out == nil {
+				out = f.clone()
+			}
+			delete(out, s)
+		}
+	}
+	if out == nil {
+		return f
+	}
+	return out
+}
+
+// obj resolves an identifier to its object (definition or use).
+func (eng *balanceEngine) obj(id *ast.Ident) types.Object {
+	if id == nil {
+		return nil
+	}
+	info := eng.pass.Pkg.Info
+	if o := info.Defs[id]; o != nil {
+		return o
+	}
+	return info.Uses[id]
+}
+
+// methodCallInfo resolves a call of the form recv.Method(...) to the method
+// name and the name of its declared receiver type ("" when the call is not a
+// method call). The receiver type is the method's own, so promoted methods
+// of embedded fields resolve to the embedded type (sync.Mutex).
+func methodCallInfo(pkg *Package, call *ast.CallExpr) (method, recvType string, sel *ast.SelectorExpr) {
+	s, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", "", nil
+	}
+	obj := pkg.Info.Uses[s.Sel]
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return "", "", nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", "", nil
+	}
+	rt := sig.Recv().Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok {
+		return "", "", nil
+	}
+	return fn.Name(), named.Obj().Name(), s
+}
+
+// argKey renders the first n arguments as a resource identity string.
+func argKey(args []ast.Expr, n int) string {
+	if len(args) < n {
+		n = len(args)
+	}
+	parts := make([]string, 0, n)
+	for _, a := range args[:n] {
+		parts = append(parts, types.ExprString(a))
+	}
+	return strings.Join(parts, "\x00")
+}

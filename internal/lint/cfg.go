@@ -1,0 +1,493 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file builds per-function control-flow graphs for the dataflow
+// analyzers (pinbalance, chargeonce, lockbalance). The graph is intentionally
+// statement-granular: a Block holds the straight-line statements (plus guard
+// expressions) executed in order, and Edges carry the branch condition they
+// are taken under, so analyzers can refine facts along `if err != nil`-style
+// branches — the path-sensitivity the resource analyzers need to tell a
+// failed acquisition from a leaked one.
+//
+// Covered control flow: if/else chains (including init statements), for and
+// range loops, switch/type-switch (with fallthrough), select, labeled
+// break/continue, goto, return, and explicit panic calls. Returns and panics
+// both edge into the single Exit block; deferred calls are ordinary DeferStmt
+// nodes inside blocks, and it is the analyzers that give them their
+// runs-on-every-exit meaning. Function literals are opaque: a FuncLit is
+// never inlined into its enclosing function's graph (analyzers build a
+// separate CFG per literal).
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	// Name labels the function in diagnostics ("(*HeapFile).Insert").
+	Name string
+	// Pos is the function's declaration position.
+	Pos token.Pos
+	// Blocks lists every block, entry first; unreachable blocks may appear
+	// (e.g. statements after a return) and are skipped by the solver.
+	Blocks []*Block
+	// Entry is the block control enters at.
+	Entry *Block
+	// Exit is the single synthetic exit: every return, explicit panic, and
+	// fall-off-the-end path edges into it. It holds no nodes.
+	Exit *Block
+}
+
+// Block is one straight-line run of statements.
+type Block struct {
+	// Index is the block's position in CFG.Blocks.
+	Index int
+	// Nodes holds the statements and guard expressions of the block in
+	// evaluation order. Control statements contribute their init statement
+	// and condition/tag expression here; their bodies live in other blocks.
+	Nodes []ast.Node
+	// Succs and Preds are the outgoing and incoming edges.
+	Succs []*Edge
+	Preds []*Edge
+}
+
+// Edge is one control-flow transfer, optionally guarded by a condition.
+type Edge struct {
+	From, To *Block
+	// Cond, when non-nil, is the boolean branch expression; the edge is
+	// taken when Cond evaluates to When. nil means unconditional.
+	Cond ast.Expr
+	// When is the condition value under which the edge is taken.
+	When bool
+}
+
+// BuildCFG constructs the graph of one function body. name and pos label
+// diagnostics; body may be any block statement (FuncDecl.Body, FuncLit.Body).
+func BuildCFG(name string, pos token.Pos, body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{
+		cfg:    &CFG{Name: name, Pos: pos},
+		labels: map[string]*labelTarget{},
+	}
+	b.cfg.Entry = b.newBlock()
+	b.cfg.Exit = b.newBlock()
+	b.cur = b.cfg.Entry
+	b.stmtList(body.List)
+	if b.cur != nil {
+		b.edge(b.cur, b.cfg.Exit, nil, false)
+	}
+	b.patchGotos()
+	return b.cfg
+}
+
+// cfgBuilder carries the construction state.
+type cfgBuilder struct {
+	cfg *CFG
+	// cur is the block under construction; nil after a terminating statement
+	// (return, break, panic) until new control flow starts a fresh block.
+	cur *Block
+	// frames is the stack of enclosing breakable/continuable constructs.
+	frames []frame
+	// pendingLabel is the label of the directly enclosing LabeledStmt, to be
+	// consumed by the loop/switch/select it labels.
+	pendingLabel string
+	// labels maps label names to their targets for goto and labeled branches.
+	labels map[string]*labelTarget
+	// gotos are forward gotos awaiting their label's block.
+	gotos []pendingGoto
+	// fallTo is the next case clause's block while building a switch clause
+	// body (the fallthrough target); nil outside switch clauses.
+	fallTo *Block
+}
+
+// frame is one enclosing construct a break/continue can target.
+type frame struct {
+	label      string
+	breakTo    *Block
+	continueTo *Block // nil for switch/select (not continuable)
+}
+
+// labelTarget records where a label's statement begins.
+type labelTarget struct{ block *Block }
+
+// pendingGoto is a goto seen before its label.
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block, cond ast.Expr, when bool) {
+	e := &Edge{From: from, To: to, Cond: cond, When: when}
+	from.Succs = append(from.Succs, e)
+	to.Preds = append(to.Preds, e)
+}
+
+// use returns the current block, starting a fresh (unreachable) one after a
+// terminator so later statements still have a home.
+func (b *cfgBuilder) use() *Block {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	return b.cur
+}
+
+func (b *cfgBuilder) addNode(n ast.Node) {
+	if n == nil {
+		return
+	}
+	blk := b.use()
+	blk.Nodes = append(blk.Nodes, n)
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// takeLabel consumes the pending label for the construct that owns it.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		// Start a fresh block so goto can land here; labeled loops and
+		// switches additionally consume the label for break/continue.
+		target := b.newBlock()
+		if cur := b.cur; cur != nil {
+			b.edge(cur, target, nil, false)
+		}
+		b.cur = target
+		b.labels[s.Label.Name] = &labelTarget{block: target}
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.addNode(s.Init)
+		}
+		b.addNode(s.Cond)
+		condBlk := b.use()
+		b.cur = nil
+
+		then := b.newBlock()
+		b.edge(condBlk, then, s.Cond, true)
+		b.cur = then
+		b.stmt(s.Body)
+		thenEnd := b.cur
+
+		join := b.newBlock()
+		if s.Else != nil {
+			els := b.newBlock()
+			b.edge(condBlk, els, s.Cond, false)
+			b.cur = els
+			b.stmt(s.Else)
+			if b.cur != nil {
+				b.edge(b.cur, join, nil, false)
+			}
+		} else {
+			b.edge(condBlk, join, s.Cond, false)
+		}
+		if thenEnd != nil {
+			b.edge(thenEnd, join, nil, false)
+		}
+		b.cur = join
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.addNode(s.Init)
+		}
+		head := b.newBlock()
+		if cur := b.cur; cur != nil {
+			b.edge(cur, head, nil, false)
+		}
+		join := b.newBlock()
+		body := b.newBlock()
+		if s.Cond != nil {
+			head.Nodes = append(head.Nodes, s.Cond)
+			b.edge(head, body, s.Cond, true)
+			b.edge(head, join, s.Cond, false)
+		} else {
+			b.edge(head, body, nil, false) // for {}: join reached via break only
+		}
+		cont := head
+		var post *Block
+		if s.Post != nil {
+			post = b.newBlock()
+			post.Nodes = append(post.Nodes, s.Post)
+			b.edge(post, head, nil, false)
+			cont = post
+		}
+		b.frames = append(b.frames, frame{label: label, breakTo: join, continueTo: cont})
+		b.cur = body
+		b.stmt(s.Body)
+		if b.cur != nil {
+			b.edge(b.cur, cont, nil, false)
+		}
+		b.frames = b.frames[:len(b.frames)-1]
+		b.cur = join
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.newBlock()
+		// The RangeStmt itself is the head's node: it evaluates the range
+		// operand and rebinds the iteration variables each trip.
+		head.Nodes = append(head.Nodes, s)
+		if cur := b.cur; cur != nil {
+			b.edge(cur, head, nil, false)
+		}
+		join := b.newBlock()
+		body := b.newBlock()
+		b.edge(head, body, nil, false)
+		b.edge(head, join, nil, false)
+		b.frames = append(b.frames, frame{label: label, breakTo: join, continueTo: head})
+		b.cur = body
+		b.stmt(s.Body)
+		if b.cur != nil {
+			b.edge(b.cur, head, nil, false)
+		}
+		b.frames = b.frames[:len(b.frames)-1]
+		b.cur = join
+
+	case *ast.SwitchStmt:
+		b.switchLike(s.Init, s.Tag, nil, s.Body)
+
+	case *ast.TypeSwitchStmt:
+		b.switchLike(s.Init, nil, s.Assign, s.Body)
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		condBlk := b.use()
+		b.cur = nil
+		join := b.newBlock()
+		b.frames = append(b.frames, frame{label: label, breakTo: join})
+		empty := true
+		for _, c := range s.Body.List {
+			comm, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			empty = false
+			clause := b.newBlock()
+			b.edge(condBlk, clause, nil, false)
+			b.cur = clause
+			if comm.Comm != nil {
+				b.addNode(comm.Comm)
+			}
+			b.stmtList(comm.Body)
+			if b.cur != nil {
+				b.edge(b.cur, join, nil, false)
+			}
+		}
+		b.frames = b.frames[:len(b.frames)-1]
+		if empty {
+			// select {} blocks forever; join is unreachable.
+			b.cur = join
+			return
+		}
+		b.cur = join
+
+	case *ast.BranchStmt:
+		b.branch(s)
+
+	case *ast.ReturnStmt:
+		b.addNode(s)
+		b.edge(b.use(), b.cfg.Exit, nil, false)
+		b.cur = nil
+
+	case *ast.ExprStmt:
+		b.addNode(s)
+		if isPanicCall(s.X) {
+			b.edge(b.use(), b.cfg.Exit, nil, false)
+			b.cur = nil
+		}
+
+	case *ast.EmptyStmt:
+		// nothing
+
+	default:
+		// Assign, Decl, Defer, Go, IncDec, Send, and anything new: one node.
+		b.addNode(s)
+	}
+}
+
+// switchLike builds switch and type-switch graphs: every case clause branches
+// from the tag block; fallthrough chains a clause into the next one; a
+// missing default means the tag block can flow straight to the join.
+func (b *cfgBuilder) switchLike(init ast.Stmt, tag ast.Expr, assign ast.Stmt, body *ast.BlockStmt) {
+	label := b.takeLabel()
+	if init != nil {
+		b.addNode(init)
+	}
+	if tag != nil {
+		b.addNode(tag)
+	}
+	if assign != nil {
+		b.addNode(assign)
+	}
+	condBlk := b.use()
+	b.cur = nil
+	join := b.newBlock()
+
+	var clauses []*ast.CaseClause
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok {
+			clauses = append(clauses, cc)
+		}
+	}
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, cc := range clauses {
+		blocks[i] = b.newBlock()
+		b.edge(condBlk, blocks[i], nil, false)
+		if cc.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		b.edge(condBlk, join, nil, false)
+	}
+	b.frames = append(b.frames, frame{label: label, breakTo: join})
+	for i, cc := range clauses {
+		b.cur = blocks[i]
+		for _, e := range cc.List {
+			b.addNode(e)
+		}
+		var fallTo *Block
+		if i+1 < len(blocks) {
+			fallTo = blocks[i+1]
+		}
+		saved := b.fallTo
+		b.fallTo = fallTo
+		b.stmtList(cc.Body)
+		b.fallTo = saved
+		if b.cur != nil {
+			b.edge(b.cur, join, nil, false)
+		}
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = join
+}
+
+// branch handles break/continue/goto/fallthrough.
+func (b *cfgBuilder) branch(s *ast.BranchStmt) {
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok {
+	case token.BREAK:
+		for i := len(b.frames) - 1; i >= 0; i-- {
+			f := b.frames[i]
+			if label == "" || f.label == label {
+				b.edge(b.use(), f.breakTo, nil, false)
+				break
+			}
+		}
+		b.cur = nil
+	case token.CONTINUE:
+		for i := len(b.frames) - 1; i >= 0; i-- {
+			f := b.frames[i]
+			if f.continueTo == nil {
+				continue // switch/select frames are not continue targets
+			}
+			if label == "" || f.label == label {
+				b.edge(b.use(), f.continueTo, nil, false)
+				break
+			}
+		}
+		b.cur = nil
+	case token.GOTO:
+		from := b.use()
+		if t, ok := b.labels[label]; ok {
+			b.edge(from, t.block, nil, false)
+		} else {
+			b.gotos = append(b.gotos, pendingGoto{from: from, label: label})
+		}
+		b.cur = nil
+	case token.FALLTHROUGH:
+		if b.fallTo != nil {
+			b.edge(b.use(), b.fallTo, nil, false)
+		}
+		b.cur = nil
+	default:
+		// no other branch tokens exist; nothing to do
+	}
+}
+
+// patchGotos resolves gotos that preceded their labels.
+func (b *cfgBuilder) patchGotos() {
+	for _, g := range b.gotos {
+		if t, ok := b.labels[g.label]; ok {
+			b.edge(g.from, t.block, nil, false)
+		}
+	}
+	b.gotos = nil
+}
+
+// isPanicCall reports whether e is a call to the builtin panic.
+func isPanicCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// FuncCFGs builds a CFG for every function declaration and function literal
+// of a file. Literal bodies are analyzed as separate functions and excluded
+// from their enclosing function's graph.
+func FuncCFGs(f *ast.File) []*CFG {
+	var out []*CFG
+	for _, d := range f.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		out = append(out, BuildCFG(funcDisplayName(fd), fd.Pos(), fd.Body))
+		// Function literals nested anywhere inside (including in other
+		// literals) each get their own graph.
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				out = append(out, BuildCFG(funcDisplayName(fd)+".func", lit.Pos(), lit.Body))
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// funcDisplayName renders a function declaration name with its receiver.
+func funcDisplayName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return "(*" + id.Name + ")." + fd.Name.Name
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok {
+		if id, ok := idx.X.(*ast.Ident); ok {
+			return "(*" + id.Name + ")." + fd.Name.Name
+		}
+	}
+	return fd.Name.Name
+}

@@ -1,0 +1,337 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// cfgOf parses src as a complete file and returns the CFG of the function
+// named fn (FuncCFGs covers declarations and literals alike).
+func cfgOf(t *testing.T, src, fn string) *CFG {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "cfgtest.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, g := range FuncCFGs(f) {
+		if g.Name == fn {
+			return g
+		}
+	}
+	t.Fatalf("no CFG named %q", fn)
+	return nil
+}
+
+// reachableLattice collects the indices of blocks on some path into each
+// block: a may-union analysis exercising join and loop convergence.
+type reachableLattice struct{}
+
+func (reachableLattice) Entry() map[int]bool { return map[int]bool{} }
+func (reachableLattice) Join(a, b map[int]bool) map[int]bool {
+	out := map[int]bool{}
+	for k := range a {
+		out[k] = true
+	}
+	for k := range b {
+		out[k] = true
+	}
+	return out
+}
+func (reachableLattice) Equal(a, b map[int]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func solveReachable(g *CFG) *FlowResult[map[int]bool] {
+	return ForwardSolve[map[int]bool](g, reachableLattice{}, func(b *Block, in map[int]bool) map[int]bool {
+		out := map[int]bool{}
+		for k := range in {
+			out[k] = true
+		}
+		out[b.Index] = true
+		return out
+	}, nil)
+}
+
+func TestCFGIfElseEdges(t *testing.T) {
+	g := cfgOf(t, `package p
+func f(x int) int {
+	if x > 0 {
+		return 1
+	}
+	return 0
+}`, "f")
+	// The condition block must have exactly one true edge and one false
+	// edge, both annotated with the same condition expression.
+	var condEdges []*Edge
+	for _, b := range g.Blocks {
+		for _, e := range b.Succs {
+			if e.Cond != nil {
+				condEdges = append(condEdges, e)
+			}
+		}
+	}
+	if len(condEdges) != 2 {
+		t.Fatalf("got %d condition-annotated edges, want 2", len(condEdges))
+	}
+	if condEdges[0].Cond != condEdges[1].Cond {
+		t.Errorf("true and false edges carry different Cond expressions")
+	}
+	if condEdges[0].When == condEdges[1].When {
+		t.Errorf("both condition edges have When=%v; want one true, one false", condEdges[0].When)
+	}
+	if len(g.Exit.Preds) != 2 {
+		t.Errorf("exit has %d predecessors, want 2 (both returns)", len(g.Exit.Preds))
+	}
+}
+
+func TestCFGLoopHasBackEdge(t *testing.T) {
+	g := cfgOf(t, `package p
+func f(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}`, "f")
+	// Some edge must target a block that dominates it in source order —
+	// i.e., the CFG has a cycle.
+	if !hasCycle(g) {
+		t.Fatalf("for-loop CFG has no cycle")
+	}
+	res := solveReachable(g)
+	if !res.Converged {
+		t.Fatalf("solver did not converge on a simple loop")
+	}
+	if !res.Reached(g.Exit) {
+		t.Fatalf("exit not reached through loop-false edge")
+	}
+}
+
+func TestCFGInfiniteLoopExitUnreached(t *testing.T) {
+	g := cfgOf(t, `package p
+func f() {
+	for {
+	}
+}`, "f")
+	res := solveReachable(g)
+	if res.Reached(g.Exit) {
+		t.Fatalf("exit reached despite infinite loop with no break")
+	}
+}
+
+func TestCFGBreakReachesExit(t *testing.T) {
+	g := cfgOf(t, `package p
+func f(n int) {
+	for {
+		if n > 0 {
+			break
+		}
+	}
+}`, "f")
+	res := solveReachable(g)
+	if !res.Reached(g.Exit) {
+		t.Fatalf("break did not connect the loop to the function exit")
+	}
+}
+
+func TestCFGPanicEdgesToExit(t *testing.T) {
+	g := cfgOf(t, `package p
+func f(x int) int {
+	if x < 0 {
+		panic("negative")
+	}
+	return x
+}`, "f")
+	// Both the panic and the return must flow to Exit so the dataflow sees
+	// every way out of the function (the resource analyzers audit panics
+	// like any other exit).
+	if len(g.Exit.Preds) != 2 {
+		t.Fatalf("exit has %d predecessors, want 2 (panic + return)", len(g.Exit.Preds))
+	}
+}
+
+func TestCFGUnreachableAfterReturn(t *testing.T) {
+	g := cfgOf(t, `package p
+func f() int {
+	return 1
+	println("dead")
+}`, "f")
+	res := solveReachable(g)
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if call, ok := n.(*ast.ExprStmt); ok {
+				if isPrintln(call.X) && res.Reached(b) {
+					t.Fatalf("statement after return is reached by the solver")
+				}
+			}
+		}
+	}
+}
+
+func TestCFGSwitchCoversAllCases(t *testing.T) {
+	g := cfgOf(t, `package p
+func f(k int) int {
+	switch k {
+	case 0:
+		return 10
+	case 1:
+		return 11
+	default:
+		return 12
+	}
+}`, "f")
+	// The unreachable post-switch join keeps its structural edge to Exit;
+	// count only predecessors the solver can actually reach.
+	res := solveReachable(g)
+	reached := 0
+	for _, e := range g.Exit.Preds {
+		if res.Reached(e.From) {
+			reached++
+		}
+	}
+	if reached != 3 {
+		t.Fatalf("exit has %d reached predecessors, want 3 (one per case)", reached)
+	}
+}
+
+func TestCFGSwitchWithoutDefaultFallsThrough(t *testing.T) {
+	g := cfgOf(t, `package p
+func f(k int) int {
+	switch k {
+	case 0:
+		return 10
+	}
+	return 0
+}`, "f")
+	res := solveReachable(g)
+	if !res.Reached(g.Exit) {
+		t.Fatalf("switch without default must fall through to the join")
+	}
+	if len(g.Exit.Preds) != 2 {
+		t.Fatalf("exit has %d predecessors, want 2 (case return + fallthrough return)", len(g.Exit.Preds))
+	}
+}
+
+func TestFuncCFGsIncludesLiterals(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "cfgtest.go", `package p
+func a() {}
+func b() {
+	fn := func() int { return 1 }
+	fn()
+}`, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := FuncCFGs(f)
+	if len(cfgs) != 3 {
+		t.Fatalf("got %d CFGs, want 3 (a, b, and b's literal)", len(cfgs))
+	}
+}
+
+func TestCondIdentDecomposition(t *testing.T) {
+	g := cfgOf(t, `package p
+func f() {
+	var err error
+	if err != nil {
+		return
+	}
+}`, "f")
+	found := 0
+	for _, b := range g.Blocks {
+		for _, e := range b.Succs {
+			id, isNil, ok := condIdent(e)
+			if !ok {
+				continue
+			}
+			found++
+			if id.Name != "err" {
+				t.Errorf("condIdent ident = %q, want err", id.Name)
+			}
+			// On the edge taken when `err != nil` holds, err is non-nil.
+			if e.When && isNil {
+				t.Errorf("true edge of err != nil reported isNil=true")
+			}
+			if !e.When && !isNil {
+				t.Errorf("false edge of err != nil reported isNil=false")
+			}
+		}
+	}
+	if found != 2 {
+		t.Fatalf("condIdent decomposed %d edges, want 2", found)
+	}
+}
+
+func TestForwardSolveJoinsBranches(t *testing.T) {
+	g := cfgOf(t, `package p
+func f(x int) {
+	if x > 0 {
+		println("a")
+	} else {
+		println("b")
+	}
+	println("join")
+}`, "f")
+	res := solveReachable(g)
+	if !res.Converged {
+		t.Fatal("no convergence")
+	}
+	in := res.In[g.Exit]
+	// The exit's in-fact must contain both branch blocks: the union join
+	// merged both paths.
+	branches := 0
+	for _, b := range g.Blocks {
+		if len(b.Nodes) == 1 && in[b.Index] {
+			if es, ok := b.Nodes[0].(*ast.ExprStmt); ok && isPrintln(es.X) {
+				branches++
+			}
+		}
+	}
+	if branches < 2 {
+		t.Fatalf("exit in-fact reaches %d println blocks, want at least both branches", branches)
+	}
+}
+
+// hasCycle detects any cycle in the CFG by DFS coloring.
+func hasCycle(g *CFG) bool {
+	state := map[*Block]int{}
+	var visit func(*Block) bool
+	visit = func(b *Block) bool {
+		switch state[b] {
+		case 1:
+			return true
+		case 2:
+			return false
+		}
+		state[b] = 1
+		for _, e := range b.Succs {
+			if visit(e.To) {
+				return true
+			}
+		}
+		state[b] = 2
+		return false
+	}
+	return visit(g.Entry)
+}
+
+// isPrintln matches a println(...) call expression.
+func isPrintln(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "println"
+}

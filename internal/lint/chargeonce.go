@@ -1,0 +1,417 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// ChargeOnceAnalyzer enforces the accounting contract of DESIGN.md §12/§14:
+// each physical transfer is charged to the Accountant exactly once, and in
+// fault-injected code the injector check dominates the charge — a failed I/O
+// is never charged (PR 5's "failed I/O never charged" invariant, checked
+// statically instead of only by the fault-matrix tests).
+//
+// The dataflow runs over the CFG with a powerset lattice. Each element is a
+// (phase, charged-site-set) pair describing one class of paths reaching a
+// block:
+//
+//	phase ∈ {unchecked, checked, poisoned}
+//
+// unchecked: the fault injector has not been consulted yet; checked: it was
+// consulted and passed (including the vacuous `fi == nil` branch — no
+// injector means nothing can fail); poisoned: a fault-check error was taken,
+// so the I/O did not happen. Edge refinement transitions phases along
+// `fi == nil` and `err != nil` edges.
+//
+// At each Record* site the analyzer reports: an unchecked element in a
+// function that consults the injector (charge not dominated by the check), a
+// poisoned element (failed I/O reaching a charge), and a second charge with
+// the same (method, arguments) identity on one path (double charge). At the
+// function exit, a checked element with no charges means a successful I/O
+// went uncharged. Functions that never consult an injector (e.g. the B-tree
+// leaf probe's unconditional RecordRandRead) carry no dominance obligation.
+var ChargeOnceAnalyzer = &Analyzer{
+	Name: "chargeonce",
+	Doc:  "every storage charge is fault-checked first and charged exactly once",
+	Run:  runChargeOnce,
+}
+
+// chargePhase is the fault-check state of one path class.
+type chargePhase uint32
+
+const (
+	phaseUnchecked chargePhase = iota
+	phaseChecked
+	phasePoisoned
+)
+
+// chargeElem packs (phase, charged-site bitmask) into one comparable word.
+type chargeElem uint32
+
+func elemOf(ph chargePhase, mask uint32) chargeElem { return chargeElem(ph<<16) | chargeElem(mask) }
+func (e chargeElem) phase() chargePhase             { return chargePhase(e >> 16) }
+func (e chargeElem) mask() uint32                   { return uint32(e) & 0xffff }
+
+// chargeFact is a set of path-class elements.
+type chargeFact map[chargeElem]bool
+
+// chargeLattice: union join (may analysis over path classes).
+type chargeLattice struct{}
+
+func (chargeLattice) Entry() chargeFact {
+	return chargeFact{elemOf(phaseUnchecked, 0): true}
+}
+
+func (chargeLattice) Join(a, b chargeFact) chargeFact {
+	out := make(chargeFact, len(a)+len(b))
+	for e := range a {
+		out[e] = true
+	}
+	for e := range b {
+		out[e] = true
+	}
+	return out
+}
+
+func (chargeLattice) Equal(a, b chargeFact) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for e := range a {
+		if !b[e] {
+			return false
+		}
+	}
+	return true
+}
+
+// chargeSite is one static Record* call.
+type chargeSite struct {
+	pos token.Pos
+	// key is the charge identity (method name + printed arguments): two
+	// sites with the same key on one path charge the same transfer twice.
+	key  string
+	name string
+	bit  uint32
+}
+
+// chargeEngine analyzes one function.
+type chargeEngine struct {
+	pass *Pass
+	cfg  *CFG
+	// sites maps each Record* call position to its site record.
+	sites map[token.Pos]*chargeSite
+	// ordered lists sites in source order (bit i = ordered[i]).
+	ordered []*chargeSite
+	// consults: the function reads the injector or calls beforeRead/Write,
+	// so charge sites owe a dominating check.
+	consults bool
+	// firstCheck anchors the missed-charge diagnostic.
+	firstCheck token.Pos
+	// injObjs are variables bound to the injector (fi := d.faults.Load()).
+	injObjs map[types.Object]bool
+	// checkErrObjs are variables bound to a fault-check result.
+	checkErrObjs map[types.Object]bool
+	// reported dedupes diagnostics per (site, kind).
+	reported map[string]bool
+}
+
+const maxChargeSites = 16
+
+func runChargeOnce(pass *Pass) error {
+	for _, f := range pass.Pkg.Files {
+		for _, cfg := range FuncCFGs(f) {
+			eng := &chargeEngine{
+				pass:         pass,
+				cfg:          cfg,
+				sites:        map[token.Pos]*chargeSite{},
+				injObjs:      map[types.Object]bool{},
+				checkErrObjs: map[types.Object]bool{},
+				reported:     map[string]bool{},
+			}
+			if !eng.prescan() {
+				continue
+			}
+			res := ForwardSolve[chargeFact](cfg, chargeLattice{}, eng.transfer, eng.refine)
+			if !res.Converged {
+				continue
+			}
+			eng.checkExit(res)
+		}
+	}
+	return nil
+}
+
+// prescan enumerates charge sites and fault-check evidence; false means the
+// function needs no analysis (or exceeds the site budget).
+func (eng *chargeEngine) prescan() bool {
+	for _, b := range eng.cfg.Blocks {
+		for _, n := range b.Nodes {
+			ast.Inspect(n, func(x ast.Node) bool {
+				if _, ok := x.(*ast.FuncLit); ok {
+					return false // literals are separate CFGs
+				}
+				call, ok := x.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if name, ok := chargeCallName(eng.pass.Pkg, call); ok {
+					if _, seen := eng.sites[call.Pos()]; !seen {
+						s := &chargeSite{
+							pos:  call.Pos(),
+							key:  name + "\x00" + argKey(call.Args, len(call.Args)),
+							name: name,
+						}
+						eng.sites[call.Pos()] = s
+						eng.ordered = append(eng.ordered, s)
+					}
+				}
+				if isFaultCheckCall(call) || isInjectorBindingCall(call) {
+					eng.consults = true
+					if !eng.firstCheck.IsValid() {
+						eng.firstCheck = call.Pos()
+					}
+				}
+				return true
+			})
+		}
+	}
+	if len(eng.ordered) == 0 {
+		return false
+	}
+	if len(eng.ordered) > maxChargeSites {
+		return false // site budget exceeded; skip rather than misreport
+	}
+	sort.Slice(eng.ordered, func(i, j int) bool { return eng.ordered[i].pos < eng.ordered[j].pos })
+	for i, s := range eng.ordered {
+		s.bit = 1 << uint(i)
+	}
+	return true
+}
+
+// chargeCallName matches acct.RecordRead / RecordRandRead / RecordWrite.
+func chargeCallName(pkg *Package, call *ast.CallExpr) (string, bool) {
+	method, recv, _ := methodCallInfo(pkg, call)
+	if recv != "Accountant" {
+		return "", false
+	}
+	switch method {
+	case "RecordRead", "RecordRandRead", "RecordWrite":
+		return method, true
+	default:
+		return "", false
+	}
+}
+
+// isFaultCheckCall matches fi.beforeRead(...) / fi.beforeWrite(...).
+func isFaultCheckCall(call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	return sel.Sel.Name == "beforeRead" || sel.Sel.Name == "beforeWrite"
+}
+
+// isInjectorBindingCall matches d.faults.Load() and d.Faults(): expressions
+// producing the injector pointer whose nil check is the vacuous pass.
+func isInjectorBindingCall(call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Faults":
+		return true
+	case "Load":
+		inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+		return ok && inner.Sel.Name == "faults"
+	default:
+		return false
+	}
+}
+
+// transfer applies one block's calls and bindings to the fact.
+func (eng *chargeEngine) transfer(b *Block, in chargeFact) chargeFact {
+	fact := make(chargeFact, len(in))
+	for e := range in {
+		fact[e] = true
+	}
+	for _, n := range b.Nodes {
+		eng.bindings(n)
+		ast.Inspect(n, func(x ast.Node) bool {
+			if _, ok := x.(*ast.FuncLit); ok {
+				return false
+			}
+			call, ok := x.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if isFaultCheckCall(call) {
+				fact = mapPhases(fact, func(ph chargePhase) chargePhase {
+					if ph == phaseUnchecked {
+						return phaseChecked
+					}
+					return ph
+				})
+				return true
+			}
+			if site, ok := eng.sites[call.Pos()]; ok {
+				fact = eng.charge(site, fact)
+			}
+			return true
+		})
+	}
+	return fact
+}
+
+// bindings records injector and fault-check-error variable bindings from an
+// assignment or declaration node (flow-insensitive side tables).
+func (eng *chargeEngine) bindings(n ast.Node) {
+	var lhs []ast.Expr
+	var rhs []ast.Expr
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		lhs, rhs = n.Lhs, n.Rhs
+	case *ast.DeclStmt:
+		gd, ok := n.Decl.(*ast.GenDecl)
+		if !ok {
+			return
+		}
+		for _, spec := range gd.Specs {
+			if vs, ok := spec.(*ast.ValueSpec); ok && len(vs.Values) > 0 {
+				for i, name := range vs.Names {
+					if i < len(vs.Values) {
+						eng.bindOne(name, vs.Values[i])
+					}
+				}
+			}
+		}
+		return
+	default:
+		return
+	}
+	if len(lhs) != 1 || len(rhs) != 1 {
+		return
+	}
+	if id, ok := ast.Unparen(lhs[0]).(*ast.Ident); ok {
+		eng.bindOne(id, rhs[0])
+	}
+}
+
+// bindOne classifies one name := value binding.
+func (eng *chargeEngine) bindOne(id *ast.Ident, value ast.Expr) {
+	if id.Name == "_" {
+		return
+	}
+	call, ok := ast.Unparen(value).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	obj := eng.pass.Pkg.Info.Defs[id]
+	if obj == nil {
+		obj = eng.pass.Pkg.Info.Uses[id]
+	}
+	if obj == nil {
+		return
+	}
+	if isInjectorBindingCall(call) {
+		eng.injObjs[obj] = true
+	}
+	if isFaultCheckCall(call) {
+		eng.checkErrObjs[obj] = true
+	}
+}
+
+// charge applies one Record* site to every element, reporting violations.
+func (eng *chargeEngine) charge(site *chargeSite, fact chargeFact) chargeFact {
+	out := make(chargeFact, len(fact))
+	for e := range fact {
+		ph, mask := e.phase(), e.mask()
+		if eng.consults && ph == phaseUnchecked {
+			eng.reportOnce("dom", site.pos,
+				"%s is reachable without consulting the fault injector this function checks; the fault check must dominate the charge",
+				site.name)
+		}
+		if ph == phasePoisoned {
+			eng.reportOnce("poison", site.pos,
+				"a failed fault-injector check can reach this %s; failed I/O must never be charged (return the error before charging)",
+				site.name)
+		}
+		for _, other := range eng.ordered {
+			if other != site && other.key == site.key && mask&other.bit != 0 {
+				eng.reportOnce("double", site.pos,
+					"this path already charged the same transfer at line %d; each physical I/O must be charged exactly once",
+					eng.pass.Pkg.Fset.Position(other.pos).Line)
+				break
+			}
+		}
+		out[elemOf(ph, mask|site.bit)] = true
+	}
+	return out
+}
+
+// refine transitions phases along injector-nil and check-error edges.
+func (eng *chargeEngine) refine(e *Edge, f chargeFact) chargeFact {
+	id, isNil, ok := condIdent(e)
+	if !ok {
+		return f
+	}
+	obj := eng.pass.Pkg.Info.Uses[id]
+	if obj == nil {
+		return f
+	}
+	if eng.injObjs[obj] && isNil {
+		// No injector installed: nothing can fail, the check is vacuously
+		// satisfied on this branch.
+		return mapPhases(f, func(ph chargePhase) chargePhase {
+			if ph == phaseUnchecked {
+				return phaseChecked
+			}
+			return ph
+		})
+	}
+	if eng.checkErrObjs[obj] && !isNil {
+		// The fault check failed on this branch: the I/O never happened.
+		return mapPhases(f, func(chargePhase) chargePhase { return phasePoisoned })
+	}
+	return f
+}
+
+// checkExit reports checked-but-uncharged paths at the function exit.
+func (eng *chargeEngine) checkExit(res *FlowResult[chargeFact]) {
+	if !eng.consults {
+		return
+	}
+	exit, ok := res.In[eng.cfg.Exit]
+	if !ok {
+		return
+	}
+	for e := range exit {
+		if e.phase() == phaseChecked && e.mask() == 0 {
+			eng.reportOnce("missed", eng.firstCheck,
+				"a path passes this fault check but returns without charging; successful I/O must be charged exactly once")
+			return
+		}
+	}
+}
+
+// reportOnce emits one diagnostic per (kind, position).
+func (eng *chargeEngine) reportOnce(kind string, pos token.Pos, format string, args ...interface{}) {
+	k := kind + "\x00" + eng.pass.Pkg.Fset.Position(pos).String()
+	if eng.reported[k] {
+		return
+	}
+	eng.reported[k] = true
+	eng.pass.Reportf(pos, format, args...)
+}
+
+// mapPhases rewrites every element's phase through fn.
+func mapPhases(f chargeFact, fn func(chargePhase) chargePhase) chargeFact {
+	out := make(chargeFact, len(f))
+	for e := range f {
+		out[elemOf(fn(e.phase()), e.mask())] = true
+	}
+	return out
+}

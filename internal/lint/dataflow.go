@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file is the generic forward-dataflow engine the CFG analyzers share:
+// a worklist solver parameterized on a lattice (join + equality), a block
+// transfer function, and an optional edge refinement that sharpens facts
+// along conditional edges (`if err != nil` branches). Must-style analyses
+// express themselves through an intersecting Join, may-style ones through a
+// union Join; the solver itself is agnostic.
+
+// Lattice defines the fact domain of one analysis.
+type Lattice[F any] interface {
+	// Entry is the fact at function entry.
+	Entry() F
+	// Join combines facts flowing into a block from two predecessors.
+	Join(a, b F) F
+	// Equal reports whether two facts are indistinguishable (fixpoint test).
+	Equal(a, b F) bool
+}
+
+// FlowResult holds the solved per-block facts.
+type FlowResult[F any] struct {
+	// In maps each reached block to the fact holding on entry to it.
+	In map[*Block]F
+	// Out maps each reached block to the fact after its transfer.
+	Out map[*Block]F
+	// Converged is false when the iteration cap was hit before a fixpoint;
+	// analyzers should then report nothing for the function (best effort
+	// beats flapping false positives).
+	Converged bool
+}
+
+// Reached reports whether the solver ever saw the block (blocks after a
+// return, or a select's unreachable join, are never reached).
+func (r *FlowResult[F]) Reached(b *Block) bool {
+	_, ok := r.In[b]
+	return ok
+}
+
+// ForwardSolve runs a forward worklist iteration to fixpoint. transfer maps
+// a block's in-fact to its out-fact; edgeRefine (optional, may be nil)
+// sharpens the out-fact along a specific edge before it joins into the
+// successor. Only blocks reachable from Entry are visited.
+func ForwardSolve[F any](g *CFG, lat Lattice[F], transfer func(*Block, F) F, edgeRefine func(*Edge, F) F) *FlowResult[F] {
+	res := &FlowResult[F]{
+		In:        map[*Block]F{},
+		Out:       map[*Block]F{},
+		Converged: true,
+	}
+	res.In[g.Entry] = lat.Entry()
+
+	queue := []*Block{g.Entry}
+	queued := map[*Block]bool{g.Entry: true}
+	// The cap is far above what these small per-function lattices need; it
+	// exists so a non-monotone transfer can never hang the linter.
+	budget := 64 + 32*len(g.Blocks)*(len(g.Blocks)+1)
+	for len(queue) > 0 {
+		if budget--; budget < 0 {
+			res.Converged = false
+			break
+		}
+		b := queue[0]
+		queue = queue[1:]
+		queued[b] = false
+
+		out := transfer(b, res.In[b])
+		res.Out[b] = out
+		for _, e := range b.Succs {
+			v := out
+			if edgeRefine != nil {
+				v = edgeRefine(e, v)
+			}
+			prev, seen := res.In[e.To]
+			next := v
+			if seen {
+				next = lat.Join(prev, v)
+				if lat.Equal(prev, next) {
+					continue
+				}
+			}
+			res.In[e.To] = next
+			if !queued[e.To] {
+				queued[e.To] = true
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	return res
+}
+
+// condIdent decomposes a conditional edge into (ident, nilWhenTaken):
+// for edges guarded by `x != nil` / `x == nil` over a plain identifier it
+// returns the identifier and whether x is nil on the path this edge takes.
+// ok is false for any other condition shape. This is the decomposition the
+// resource analyzers use to drop acquisitions on their failure branches.
+func condIdent(e *Edge) (id *ast.Ident, isNil bool, ok bool) {
+	if e.Cond == nil {
+		return nil, false, false
+	}
+	bin, okc := ast.Unparen(e.Cond).(*ast.BinaryExpr)
+	if !okc {
+		return nil, false, false
+	}
+	var x *ast.Ident
+	if i, oki := ast.Unparen(bin.X).(*ast.Ident); oki && isNilIdent(bin.Y) {
+		x = i
+	} else if i, oki := ast.Unparen(bin.Y).(*ast.Ident); oki && isNilIdent(bin.X) {
+		x = i
+	} else {
+		return nil, false, false
+	}
+	switch bin.Op {
+	case token.NEQ:
+		// Taken-when-true means x != nil holds, i.e. x is non-nil on the
+		// path this edge takes.
+		return x, !e.When, true
+	case token.EQL:
+		return x, e.When, true
+	default:
+		return nil, false, false
+	}
+}
+
+// isNilIdent reports whether e is the predeclared nil.
+func isNilIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}

@@ -27,9 +27,28 @@
 //     call outside the grow-once idiom, keeping the
 //     profiling-off hot path allocation-free.
 //
-// A diagnostic can be suppressed with a `//pplint:ignore <analyzer> [reason]`
-// comment on the flagged line or the line directly above it; use sparingly
-// and always with a reason.
+// Four analyzers (pplint v2) are built on a per-function control-flow graph
+// and forward-dataflow solver (cfg.go, dataflow.go) and prove "on all paths"
+// properties the per-statement matchers above cannot:
+//
+//   - pinbalance:        every BufferPool.Fetch/Pin/NewPage is matched by
+//     Unpin on every path out of the function (or the pin
+//     escapes); static twin of the PinnedFrames audit.
+//   - chargeonce:        each storage charge site is dominated by the fault-
+//     injector check and each transfer is charged exactly
+//     once; failed I/O is never charged.
+//   - atomicconsistency: a field updated via sync/atomic is never accessed
+//     plainly elsewhere, and typed atomic values are
+//     never copied.
+//   - lockbalance:       Lock/Unlock paired on all paths (with defer
+//     modeling) in internal/pcache and internal/storage,
+//     plus re-lock-while-held detection.
+//
+// A diagnostic can be suppressed with a `//pplint:ignore <analyzer> <reason>`
+// comment on the flagged line or the line directly above it. The suppress
+// audit (suppress.go) keeps directives honest: a directive without a reason
+// is itself a diagnostic, as is one that names an unknown analyzer or no
+// longer matches any finding (stale).
 package lint
 
 import (
@@ -95,6 +114,11 @@ func Analyzers() []*Analyzer {
 		BatchContractAnalyzer,
 		CtxAbortAnalyzer,
 		ProfileCleanAnalyzer,
+		PinBalanceAnalyzer,
+		ChargeOnceAnalyzer,
+		AtomicConsistencyAnalyzer,
+		LockBalanceAnalyzer,
+		SuppressAuditAnalyzer,
 	}
 }
 
@@ -110,8 +134,17 @@ func ByName(name string) (*Analyzer, bool) {
 
 // RunAnalyzers runs the given analyzers over the given packages and returns
 // the surviving diagnostics sorted by position. pplint:ignore comments are
-// honoured here so every analyzer gets suppression for free.
+// honoured here so every analyzer gets suppression for free; when the
+// suppress audit is among the analyzers, the directives themselves are
+// audited after the package's findings are known (audit diagnostics are not
+// suppressible — an ignore must not silence the audit of ignores).
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	audit := false
+	for _, a := range analyzers {
+		if a.Name == SuppressAuditAnalyzer.Name {
+			audit = true
+		}
+	}
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		ignored := ignoreIndex(pkg)
@@ -121,11 +154,19 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) 
 			}
 			diags = append(diags, d)
 		}
+		ran := map[string]bool{}
 		for _, a := range analyzers {
+			if a.Name == SuppressAuditAnalyzer.Name {
+				continue // special-cased below: needs the package's findings
+			}
+			ran[a.Name] = true
 			pass := &Pass{Analyzer: a, Pkg: pkg, report: collect}
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
 			}
+		}
+		if audit {
+			diags = append(diags, auditDirectives(ignored, ran)...)
 		}
 	}
 	sort.Slice(diags, func(i, j int) bool {
@@ -151,18 +192,43 @@ type ignoreKey struct {
 	analyzer string
 }
 
-// ignores maps pplint:ignore comments to the lines they cover.
-type ignores struct{ set map[ignoreKey]bool }
+// ignoreDirective is one parsed `//pplint:ignore` comment, tracked so the
+// suppress audit can demand a reason and detect staleness.
+type ignoreDirective struct {
+	// pos is the directive's own position.
+	pos token.Position
+	// names are the analyzers it silences ("*" = all).
+	names []string
+	// reason is the justification text after the analyzer list ("" = none).
+	reason string
+	// fired records which named analyzers actually had a finding silenced.
+	fired map[string]bool
+}
 
-func (ig ignores) covers(file string, line int, analyzer string) bool {
-	return ig.set[ignoreKey{file, line, analyzer}] || ig.set[ignoreKey{file, line, "*"}]
+// ignores maps pplint:ignore comments to the lines they cover.
+type ignores struct {
+	set map[ignoreKey]*ignoreDirective
+	// directives lists every parsed directive in file order for the audit.
+	directives []*ignoreDirective
+}
+
+func (ig *ignores) covers(file string, line int, analyzer string) bool {
+	if d := ig.set[ignoreKey{file, line, analyzer}]; d != nil {
+		d.fired[analyzer] = true
+		return true
+	}
+	if d := ig.set[ignoreKey{file, line, "*"}]; d != nil {
+		d.fired["*"] = true
+		return true
+	}
+	return false
 }
 
 // ignoreIndex scans a package's comments for `//pplint:ignore a[,b] [reason]`
 // directives. A directive covers its own line and the line below it, so it
 // works both as a trailing comment and as a line above the flagged statement.
-func ignoreIndex(pkg *Package) ignores {
-	ig := ignores{set: map[ignoreKey]bool{}}
+func ignoreIndex(pkg *Package) *ignores {
+	ig := &ignores{set: map[ignoreKey]*ignoreDirective{}}
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -177,13 +243,22 @@ func ignoreIndex(pkg *Package) ignores {
 					continue
 				}
 				pos := pkg.Fset.Position(c.Pos())
+				d := &ignoreDirective{
+					pos:    pos,
+					reason: strings.TrimSpace(strings.TrimPrefix(rest, fields[0])),
+					fired:  map[string]bool{},
+				}
 				for _, name := range strings.Split(fields[0], ",") {
 					name = strings.TrimSpace(name)
 					if name == "" {
 						continue
 					}
-					ig.set[ignoreKey{pos.Filename, pos.Line, name}] = true
-					ig.set[ignoreKey{pos.Filename, pos.Line + 1, name}] = true
+					d.names = append(d.names, name)
+					ig.set[ignoreKey{pos.Filename, pos.Line, name}] = d
+					ig.set[ignoreKey{pos.Filename, pos.Line + 1, name}] = d
+				}
+				if len(d.names) > 0 {
+					ig.directives = append(ig.directives, d)
 				}
 			}
 		}

@@ -1,0 +1,84 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// lockBalancePaths scopes the analyzer to the packages the issue names: the
+// page cache and the storage layer, whose striped/sharded locking is the
+// hottest and the easiest to unbalance in a refactor. (exec's two mutexes are
+// straight-line or deferred and covered by tests.)
+var lockBalancePaths = []string{"internal/pcache", "internal/storage"}
+
+// LockBalanceAnalyzer proves Lock/RLock is matched by Unlock/RUnlock on
+// every path out of the function, with defer modeling, and flags re-locking
+// a mutex that may still be held on some path (self-deadlock). It shares the
+// resource-balance dataflow with pinbalance; locks are matched by the
+// printed receiver expression and the lock kind (exclusive vs. shared).
+var LockBalanceAnalyzer = &Analyzer{
+	Name: "lockbalance",
+	Doc:  "Lock/Unlock paired on all paths in internal/pcache and internal/storage",
+	Run:  runLockBalance,
+}
+
+func runLockBalance(pass *Pass) error {
+	if !pathMatchesAny(pass.Pkg.Path, lockBalancePaths) {
+		return nil
+	}
+	return runBalance(pass, lockBalanceRules())
+}
+
+// lockBalanceRules recognizes sync.Mutex / sync.RWMutex acquisition and
+// release, including promoted methods of embedded mutexes (the method
+// object's declared receiver is the mutex type either way).
+func lockBalanceRules() *balanceRules {
+	return &balanceRules{
+		noun:          "lock",
+		releaseHint:   "Unlock",
+		doubleAcquire: true,
+		classifyAcquire: func(pkg *Package, call *ast.CallExpr) (acquireSpec, bool) {
+			method, recv, sel := methodCallInfo(pkg, call)
+			if recv != "Mutex" && recv != "RWMutex" {
+				return acquireSpec{}, false
+			}
+			switch method {
+			case "Lock", "RLock":
+				target := types.ExprString(sel.X)
+				return acquireSpec{
+					callee:   target + "." + method,
+					key:      lockKey(method == "RLock", target),
+					clashKey: target,
+					valIdx:   -1,
+					pidIdx:   -1,
+					errIdx:   -1,
+					shared:   method == "RLock",
+				}, true
+			default:
+				return acquireSpec{}, false
+			}
+		},
+		classifyRelease: func(pkg *Package, call *ast.CallExpr) (releaseSpec, bool) {
+			method, recv, sel := methodCallInfo(pkg, call)
+			if recv != "Mutex" && recv != "RWMutex" {
+				return releaseSpec{}, false
+			}
+			switch method {
+			case "Unlock", "RUnlock":
+				return releaseSpec{key: lockKey(method == "RUnlock", types.ExprString(sel.X))}, true
+			default:
+				return releaseSpec{}, false
+			}
+		},
+	}
+}
+
+// lockKey builds the release-matching key: the lock kind (shared vs.
+// exclusive) plus the spelled receiver, so m.mu.RLock() only pairs with
+// m.mu.RUnlock().
+func lockKey(shared bool, target string) string {
+	if shared {
+		return "R\x00" + target
+	}
+	return "W\x00" + target
+}

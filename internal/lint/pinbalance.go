@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// PinBalanceAnalyzer is the static twin of the runtime PinnedFrames leak
+// audit (DESIGN.md §13): every page pinned by BufferPool.Fetch / Pin /
+// NewPage must be unpinned on every path out of the pinning function, unless
+// the pin escapes (stored in a field, returned, or captured by a closure), in
+// which case the release obligation transfers and the closechain analyzer
+// plus the runtime audit take over. It runs the shared resource-balance
+// dataflow (balance.go) over each function's CFG.
+var PinBalanceAnalyzer = &Analyzer{
+	Name: "pinbalance",
+	Doc:  "every BufferPool pin must be unpinned (or escape) on every path",
+	Run:  runPinBalance,
+}
+
+func runPinBalance(pass *Pass) error {
+	return runBalance(pass, pinBalanceRules())
+}
+
+// pinBalanceRules recognizes the buffer-pool pin/unpin protocol:
+//
+//	pg, err := pool.Fetch(f, p)   // pins (f, p) iff err == nil
+//	pid, pg, err := pool.NewPage(f) // pins (f, pid) iff err == nil
+//	pool.Unpin(f, p, dirty)       // releases (f, p)
+//
+// Fetch/Pin sites are matched to Unpin by the printed (file, page) argument
+// pair; NewPage sites have no static page id, so Unpin matches through the
+// bound pid variable (or the engine's single-held fallback).
+func pinBalanceRules() *balanceRules {
+	return &balanceRules{
+		noun:        "pinned page",
+		releaseHint: "Unpin",
+		classifyAcquire: func(pkg *Package, call *ast.CallExpr) (acquireSpec, bool) {
+			method, recv, _ := methodCallInfo(pkg, call)
+			if recv != "BufferPool" {
+				return acquireSpec{}, false
+			}
+			switch method {
+			case "Fetch", "Pin":
+				return acquireSpec{
+					callee: "BufferPool." + method,
+					key:    argKey(call.Args, 2),
+					valIdx: 0,
+					pidIdx: -1,
+					errIdx: 1,
+				}, true
+			case "NewPage":
+				return acquireSpec{
+					callee: "BufferPool.NewPage",
+					pidIdx: 0,
+					valIdx: 1,
+					errIdx: 2,
+				}, true
+			default:
+				return acquireSpec{}, false
+			}
+		},
+		classifyRelease: func(pkg *Package, call *ast.CallExpr) (releaseSpec, bool) {
+			method, recv, _ := methodCallInfo(pkg, call)
+			if recv != "BufferPool" || method != "Unpin" {
+				return releaseSpec{}, false
+			}
+			spec := releaseSpec{key: argKey(call.Args, 2)}
+			if len(call.Args) >= 2 {
+				spec.idArg = call.Args[1]
+			}
+			return spec, true
+		},
+	}
+}

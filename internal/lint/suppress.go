@@ -1,0 +1,55 @@
+package lint
+
+import "fmt"
+
+// SuppressAuditAnalyzer keeps `//pplint:ignore` directives honest. It has no
+// Run of its own: RunAnalyzers special-cases it, because the audit needs to
+// know which findings the package's directives actually silenced. It reports:
+//
+//   - a directive with no reason text — suppressions must carry a
+//     justification a reviewer can evaluate;
+//   - a directive naming an analyzer that does not exist (usually a typo
+//     that silently suppresses nothing);
+//   - a stale directive: the named analyzer ran over the package and the
+//     directive silenced no finding, so the code it excused has been fixed
+//     (or moved) and the directive now only hides future regressions.
+//
+// Wildcard (`*`) directives are exempt from staleness — they express intent
+// about the line, not about one analyzer's current findings — but still
+// require a reason. Audit diagnostics are themselves unsuppressible.
+var SuppressAuditAnalyzer = &Analyzer{
+	Name: "suppress",
+	Doc:  "pplint:ignore directives must carry reasons and match live findings",
+	Run:  func(*Pass) error { return nil },
+}
+
+// auditDirectives inspects one package's parsed directives after every other
+// analyzer has run; ran names the analyzers that executed.
+func auditDirectives(ig *ignores, ran map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	report := func(d *ignoreDirective, format string, args ...interface{}) {
+		out = append(out, Diagnostic{
+			Pos:      d.pos,
+			Analyzer: SuppressAuditAnalyzer.Name,
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, d := range ig.directives {
+		if d.reason == "" {
+			report(d, "pplint:ignore without a reason; state why the finding is safe to suppress")
+		}
+		for _, name := range d.names {
+			if name == "*" {
+				continue
+			}
+			if _, known := ByName(name); !known {
+				report(d, "pplint:ignore names unknown analyzer %q; it suppresses nothing", name)
+				continue
+			}
+			if ran[name] && !d.fired[name] {
+				report(d, "stale pplint:ignore: %s no longer reports a finding here; delete the directive", name)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,52 @@
+// Package corpus5 seeds atomic-consistency violations: fields updated via
+// sync/atomic read or written plainly elsewhere, and typed atomic values
+// copied out of their shared word. Fixed twins live in
+// atomicconsistency_good.go.
+package corpus5
+
+import "sync/atomic"
+
+// counters mixes atomic.* function access with plain access.
+type counters struct {
+	hits  int64
+	total int64
+}
+
+// record updates hits atomically: from here on, every access must be atomic.
+func (c *counters) record() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+// snapshot reads hits plainly: a data race against record.
+func (c *counters) snapshot() int64 {
+	return c.hits // want "plain access races"
+}
+
+// reset writes hits plainly: same race on the store side.
+func (c *counters) reset() {
+	c.hits = 0 // want "plain access races"
+	atomic.StoreInt64(&c.total, 0)
+}
+
+// typed uses method-style atomics.
+type typed struct {
+	n atomic.Int64
+}
+
+// copyField copies the atomic value out of the shared word.
+func copyField(t *typed) int64 {
+	v := t.n // want "must not be copied"
+	return v.Load()
+}
+
+// passByValue hands a detached copy to the callee.
+func passByValue(t *typed) {
+	consume(t.n) // want "must not be copied"
+}
+
+func consume(v atomic.Int64) { v.Load() }
+
+// returnByValue returns a detached copy.
+func returnByValue(t *typed) atomic.Int64 {
+	return t.n // want "must not be copied"
+}

@@ -1,0 +1,55 @@
+// Package corpus6 holds the fixed twins of atomicconsistency_bad.go: fields
+// touched by sync/atomic are touched atomically everywhere, and typed atomic
+// values are only addressed or used as method receivers. The analyzer must
+// be silent on this file.
+package corpus6
+
+import "sync/atomic"
+
+// counters is accessed atomically at every site.
+type counters struct {
+	hits  int64
+	total int64
+}
+
+func (c *counters) record() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *counters) snapshot() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+func (c *counters) reset() {
+	atomic.StoreInt64(&c.hits, 0)
+	atomic.StoreInt64(&c.total, 0)
+}
+
+// typed uses method-style atomics through the original word only.
+type typed struct {
+	n atomic.Int64
+}
+
+func load(t *typed) int64 {
+	return t.n.Load()
+}
+
+func bump(t *typed) {
+	t.n.Add(1)
+}
+
+// byPointer passes the word's address, not a copy.
+func byPointer(t *typed) {
+	consume(&t.n)
+}
+
+func consume(v *atomic.Int64) { v.Load() }
+
+// plainOnly is never touched atomically, so plain access is fine.
+type plainOnly struct {
+	n int64
+}
+
+func (p *plainOnly) bump() {
+	p.n++
+}

@@ -1,0 +1,74 @@
+//corpus:path example.com/internal/storage
+
+// Package corpus3 seeds accounting violations: double charges, charges not
+// dominated by the fault check, failed I/O reaching a charge, and checked
+// I/O that is never charged. Fixed twins live in chargeonce_good.go.
+package corpus3
+
+import "sync/atomic"
+
+type FileID uint32
+type PageID uint32
+
+type Accountant struct{ reads atomic.Int64 }
+
+func (a *Accountant) RecordRead(f FileID, p PageID) { a.reads.Add(1) }
+func (a *Accountant) RecordRandRead()               { a.reads.Add(1) }
+func (a *Accountant) RecordWrite()                  { a.reads.Add(1) }
+
+type FaultInjector struct{}
+
+func (fi *FaultInjector) beforeRead(f FileID, p PageID) error  { return nil }
+func (fi *FaultInjector) beforeWrite(f FileID, p PageID) error { return nil }
+
+type dev struct {
+	acct   *Accountant
+	faults atomic.Pointer[FaultInjector]
+}
+
+// doubleCharge charges the same (file, page) transfer at two sites on one
+// path.
+func (d *dev) doubleCharge(f FileID, p PageID) {
+	d.acct.RecordRead(f, p)
+	d.acct.RecordRead(f, p) // want "already charged the same transfer"
+}
+
+// chargeBeforeCheck consults the injector but only after the charge: the
+// charge is reachable with the check still pending.
+func (d *dev) chargeBeforeCheck(f FileID, p PageID) error {
+	d.acct.RecordRead(f, p) // want "fault check must dominate the charge"
+	if fi := d.faults.Load(); fi != nil {
+		if err := fi.beforeRead(f, p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// faultedCharge lets a failed check fall through to the charge instead of
+// returning the error.
+func (d *dev) faultedCharge(f FileID, p PageID) error {
+	var failed error
+	if fi := d.faults.Load(); fi != nil {
+		if err := fi.beforeRead(f, p); err != nil {
+			failed = err // BUG: should return; the path continues to the charge
+		}
+	}
+	d.acct.RecordRead(f, p) // want "failed fault-injector check can reach this"
+	return failed
+}
+
+// missedCharge passes the fault check and then returns on one path without
+// charging the successful I/O.
+func (d *dev) missedCharge(f FileID, p PageID, skip bool) error {
+	if fi := d.faults.Load(); fi != nil { // want "returns without charging"
+		if err := fi.beforeRead(f, p); err != nil {
+			return err
+		}
+	}
+	if skip {
+		return nil // BUG: the read happened but is not charged here
+	}
+	d.acct.RecordRead(f, p)
+	return nil
+}

@@ -1,0 +1,79 @@
+//corpus:path example.com/internal/storage
+
+// Package corpus4 holds the fixed twins of chargeonce_bad.go, mirroring the
+// real Disk.ReadPage/WritePage shape: bounds check, fault check dominating
+// the charge (vacuously satisfied when no injector is installed), exactly
+// one charge per transfer. The analyzer must be silent on this file.
+package corpus4
+
+import "sync/atomic"
+
+type FileID uint32
+type PageID uint32
+
+type Accountant struct{ reads atomic.Int64 }
+
+func (a *Accountant) RecordRead(f FileID, p PageID) { a.reads.Add(1) }
+func (a *Accountant) RecordRandRead()               { a.reads.Add(1) }
+func (a *Accountant) RecordWrite()                  { a.reads.Add(1) }
+
+type FaultInjector struct{}
+
+func (fi *FaultInjector) beforeRead(f FileID, p PageID) error  { return nil }
+func (fi *FaultInjector) beforeWrite(f FileID, p PageID) error { return nil }
+
+type dev struct {
+	acct   *Accountant
+	faults atomic.Pointer[FaultInjector]
+	n      int
+}
+
+// readPage is the canonical shape: the fault check dominates the single
+// charge, and the failed check returns before charging.
+func (d *dev) readPage(f FileID, p PageID) error {
+	if int(p) >= d.n {
+		return nil // out of bounds: no transfer, no charge
+	}
+	if fi := d.faults.Load(); fi != nil {
+		if err := fi.beforeRead(f, p); err != nil {
+			return err
+		}
+	}
+	d.acct.RecordRead(f, p)
+	return nil
+}
+
+// writePage mirrors readPage for writes.
+func (d *dev) writePage(f FileID, p PageID) error {
+	if fi := d.faults.Load(); fi != nil {
+		if err := fi.beforeWrite(f, p); err != nil {
+			return err
+		}
+	}
+	d.acct.RecordWrite()
+	return nil
+}
+
+// twoTransfers charges two *different* transfers once each: not a double
+// charge.
+func (d *dev) twoTransfers(f FileID, p PageID) error {
+	if fi := d.faults.Load(); fi != nil {
+		if err := fi.beforeRead(f, p); err != nil {
+			return err
+		}
+		if err := fi.beforeRead(f, p+1); err != nil {
+			return err
+		}
+	}
+	d.acct.RecordRead(f, p)
+	d.acct.RecordRead(f, p+1)
+	return nil
+}
+
+// probeLeaf charges unconditionally with no injector in scope: index-layer
+// accounting (the B-tree leaf probe) carries no dominance obligation.
+func (d *dev) probeLeaf() {
+	if d.acct != nil {
+		d.acct.RecordRandRead()
+	}
+}

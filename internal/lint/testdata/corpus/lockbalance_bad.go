@@ -1,0 +1,65 @@
+//corpus:path example.com/internal/pcache
+
+// Package corpus7 seeds lock-balance violations: unlock misses on early
+// returns, double locking, and shared/exclusive kind mismatches. Fixed twins
+// live in lockbalance_good.go.
+package corpus7
+
+import "sync"
+
+type shard struct {
+	mu sync.Mutex
+	m  map[string]int
+}
+
+type table struct {
+	mu sync.RWMutex
+	n  int
+}
+
+// unlockMiss leaves the shard locked on the early return.
+func unlockMiss(s *shard, key string) int {
+	s.mu.Lock() // want "not released on every path"
+	if v, ok := s.m[key]; ok {
+		return v // BUG: returns with the lock held
+	}
+	s.mu.Unlock()
+	return 0
+}
+
+// doubleLock re-locks a mutex that is still held: self-deadlock.
+func doubleLock(s *shard) {
+	s.mu.Lock()
+	s.mu.Lock() // want "already held"
+	s.mu.Unlock()
+	s.mu.Unlock()
+}
+
+// loopRelock can re-enter the Lock while the continue path still holds it.
+func loopRelock(s *shard, keys []string) {
+	for _, k := range keys {
+		s.mu.Lock() // want "already held" "not released on every path"
+		if k == "" {
+			continue // BUG: next iteration locks again while held
+		}
+		s.mu.Unlock()
+	}
+}
+
+// kindMismatch takes a read lock but releases the write side: a runtime
+// panic, and the read lock is never released.
+func kindMismatch(t *table) int {
+	t.mu.RLock() // want "not released on every path"
+	v := t.n
+	t.mu.Unlock()
+	return v
+}
+
+// deferInBranch only schedules the unlock on one branch.
+func deferInBranch(s *shard, cond bool) {
+	s.mu.Lock() // want "not released on every path"
+	if cond {
+		defer s.mu.Unlock()
+	}
+	s.m["x"] = 1
+}

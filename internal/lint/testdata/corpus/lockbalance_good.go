@@ -1,0 +1,90 @@
+//corpus:path example.com/internal/pcache
+
+// Package corpus8 holds the fixed twins of lockbalance_bad.go: every lock is
+// released on every path, kinds match, and no path re-locks a held mutex.
+// The analyzer must be silent on this file.
+package corpus8
+
+import "sync"
+
+type shard struct {
+	mu sync.Mutex
+	m  map[string]int
+}
+
+type table struct {
+	mu sync.RWMutex
+	n  int
+}
+
+// deferred releases on the early return and the fallthrough alike.
+func deferred(s *shard, key string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if v, ok := s.m[key]; ok {
+		return v
+	}
+	return 0
+}
+
+// bothPaths unlocks explicitly before every exit.
+func bothPaths(s *shard, key string) int {
+	s.mu.Lock()
+	if v, ok := s.m[key]; ok {
+		s.mu.Unlock()
+		return v
+	}
+	s.mu.Unlock()
+	return 0
+}
+
+// loopBalanced releases before every continuation.
+func loopBalanced(s *shard, keys []string) {
+	for _, k := range keys {
+		s.mu.Lock()
+		if k == "" {
+			s.mu.Unlock()
+			continue
+		}
+		s.m[k] = 1
+		s.mu.Unlock()
+	}
+}
+
+// readSide pairs the shared kinds correctly.
+func readSide(t *table) int {
+	t.mu.RLock()
+	v := t.n
+	t.mu.RUnlock()
+	return v
+}
+
+// writeSide pairs the exclusive kinds correctly, via defer.
+func writeSide(t *table) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.n++
+}
+
+// twoMutexes holds two locks with correct nesting; distinct receivers do not
+// trip the double-acquire check.
+func twoMutexes(a, b *shard) {
+	a.mu.Lock()
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// switchPaths releases in every case of a switch.
+func switchPaths(s *shard, k int) {
+	s.mu.Lock()
+	switch k {
+	case 0:
+		s.mu.Unlock()
+	case 1:
+		s.m["a"] = 1
+		s.mu.Unlock()
+	default:
+		s.mu.Unlock()
+	}
+}

@@ -1,0 +1,79 @@
+//corpus:path example.com/internal/storage
+
+// Package corpus seeds pin-leak violations: every function here loses a
+// pinned page on at least one path. Fixed twins live in pinbalance_good.go.
+package corpus
+
+type FileID uint32
+type PageID uint32
+type Page struct{}
+type BufferPool struct{}
+
+func (b *BufferPool) Fetch(f FileID, p PageID) (*Page, error) { return &Page{}, nil }
+func (b *BufferPool) NewPage(f FileID) (PageID, *Page, error) { return 0, &Page{}, nil }
+func (b *BufferPool) Unpin(f FileID, p PageID, dirty bool)    {}
+
+func use(pg *Page) bool { return pg != nil }
+
+// earlyReturn leaks the pin when the predicate holds.
+func earlyReturn(bp *BufferPool, f FileID, p PageID) error {
+	pg, err := bp.Fetch(f, p) // want "not released on every path"
+	if err != nil {
+		return err
+	}
+	if use(pg) {
+		return nil // leak: no Unpin on this path
+	}
+	bp.Unpin(f, p, false)
+	return nil
+}
+
+// loopContinue leaks the pin on iterations that continue early.
+func loopContinue(bp *BufferPool, f FileID, n int) {
+	for i := 0; i < n; i++ {
+		pg, err := bp.Fetch(f, PageID(i)) // want "not released on every path"
+		if err != nil {
+			continue
+		}
+		if !use(pg) {
+			continue // leak: skips the Unpin below
+		}
+		bp.Unpin(f, PageID(i), false)
+	}
+}
+
+// deferInBranch only registers the deferred Unpin on one branch; the other
+// branch's exits leak.
+func deferInBranch(bp *BufferPool, f FileID, p PageID, cond bool) error {
+	pg, err := bp.Fetch(f, p) // want "not released on every path"
+	if err != nil {
+		return err
+	}
+	if cond {
+		defer bp.Unpin(f, p, false)
+	}
+	use(pg)
+	return nil
+}
+
+// panicPath leaks the pin when the explicit panic fires.
+func panicPath(bp *BufferPool, f FileID, p PageID) {
+	pg, err := bp.Fetch(f, p) // want "not released on every path"
+	if err != nil {
+		return
+	}
+	if !use(pg) {
+		panic("corrupt page") // leak: pin still held when unwinding
+	}
+	bp.Unpin(f, p, false)
+}
+
+// newPageLeak drops the page allocated on the error-free path.
+func newPageLeak(bp *BufferPool, f FileID) (PageID, error) {
+	pid, pg, err := bp.NewPage(f) // want "not released on every path"
+	if err != nil {
+		return 0, err
+	}
+	use(pg)
+	return pid, nil // leak: NewPage pins, nothing unpins pid
+}

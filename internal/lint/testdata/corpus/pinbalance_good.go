@@ -1,0 +1,120 @@
+//corpus:path example.com/internal/storage
+
+// Package corpus2 holds the fixed twins of pinbalance_bad.go: every pin is
+// released on every path (or legitimately escapes), so the analyzer must be
+// silent on this file.
+package corpus2
+
+type FileID uint32
+type PageID uint32
+type Page struct{}
+type BufferPool struct{}
+
+func (b *BufferPool) Fetch(f FileID, p PageID) (*Page, error) { return &Page{}, nil }
+func (b *BufferPool) NewPage(f FileID) (PageID, *Page, error) { return 0, &Page{}, nil }
+func (b *BufferPool) Unpin(f FileID, p PageID, dirty bool)    {}
+
+func use(pg *Page) bool { return pg != nil }
+
+// deferred covers the early return and the fallthrough exit alike.
+func deferred(bp *BufferPool, f FileID, p PageID) error {
+	pg, err := bp.Fetch(f, p)
+	if err != nil {
+		return err // no pin on the failed-Fetch path: nothing to release
+	}
+	defer bp.Unpin(f, p, false)
+	if use(pg) {
+		return nil
+	}
+	return nil
+}
+
+// bothBranches releases explicitly on every path.
+func bothBranches(bp *BufferPool, f FileID, p PageID) error {
+	pg, err := bp.Fetch(f, p)
+	if err != nil {
+		return err
+	}
+	if use(pg) {
+		bp.Unpin(f, p, false)
+		return nil
+	}
+	bp.Unpin(f, p, true)
+	return nil
+}
+
+// loopBalanced unpins before every continuation of the loop body.
+func loopBalanced(bp *BufferPool, f FileID, n int) {
+	for i := 0; i < n; i++ {
+		pg, err := bp.Fetch(f, PageID(i))
+		if err != nil {
+			continue
+		}
+		if !use(pg) {
+			bp.Unpin(f, PageID(i), false)
+			continue
+		}
+		bp.Unpin(f, PageID(i), false)
+	}
+}
+
+// iter models an iterator that owns a pin across calls.
+type iter struct {
+	pool *BufferPool
+	cur  *Page
+	file FileID
+	page PageID
+}
+
+// escapes transfers the release obligation to the iterator's Close: storing
+// the page in a field is not a local leak.
+func (it *iter) escapes(f FileID, p PageID) error {
+	pg, err := it.pool.Fetch(f, p)
+	if err != nil {
+		return err
+	}
+	it.cur, it.file, it.page = pg, f, p
+	return nil
+}
+
+// Close releases the pin escaped into the iterator.
+func (it *iter) Close() {
+	if it.cur != nil {
+		it.pool.Unpin(it.file, it.page, false)
+		it.cur = nil
+	}
+}
+
+// newPageBalanced unpins the allocated page through its bound id.
+func newPageBalanced(bp *BufferPool, f FileID) error {
+	pid, pg, err := bp.NewPage(f)
+	if err != nil {
+		return err
+	}
+	use(pg)
+	bp.Unpin(f, pid, true)
+	return nil
+}
+
+// deferClosure releases inside a deferred function literal.
+func deferClosure(bp *BufferPool, f FileID, p PageID) error {
+	pg, err := bp.Fetch(f, p)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		bp.Unpin(f, p, false)
+	}()
+	use(pg)
+	return nil
+}
+
+// panicChecked panics only on the no-pin path.
+func panicChecked(bp *BufferPool, f FileID, p PageID) {
+	pg, err := bp.Fetch(f, p)
+	if err != nil {
+		panic(err) // Fetch failed: no pin outstanding
+	}
+	defer bp.Unpin(f, p, false)
+	use(pg)
+}

@@ -1,0 +1,34 @@
+// Package corpus9 seeds suppression-audit violations. The whole suite runs
+// over this file: the errdrop findings give the directives something real to
+// suppress, and the audit flags the directives that are reasonless, stale,
+// or aimed at analyzers that do not exist. Fixed twins live in
+// suppress_good.go.
+package corpus9
+
+func mightFail() error { return nil }
+
+// noReason suppresses a live finding but offers no justification: the drop
+// itself stays silenced, the missing reason is the diagnostic.
+func noReason() {
+	// want-below "pplint:ignore without a reason"
+	//pplint:ignore errdrop
+	mightFail()
+}
+
+// staleDirective excuses a finding that no longer exists: the error below is
+// handled, so the directive suppresses nothing and only hides regressions.
+func staleDirective() {
+	// want-below "stale pplint:ignore"
+	//pplint:ignore errdrop handled via the if below, directive left behind by an old revision
+	if err := mightFail(); err != nil {
+		_ = err.Error()
+	}
+}
+
+// typoDirective names an analyzer that does not exist, so the drop it meant
+// to excuse is reported anyway — both the typo and the drop are findings.
+func typoDirective() {
+	// want-below "unknown analyzer"
+	//pplint:ignore errdorp transient best-effort flush
+	mightFail() // want "silently discarded"
+}
