@@ -54,4 +54,10 @@ echo "==> profiling gate (ppbench -profile)"
 # set or charged cost (profiling must be strictly observational).
 go run ./cmd/ppbench -profile -json -scale 0.02
 
+echo "==> predicate-transfer gate (ppbench -transfer)"
+# Runs the join queries (3-5) with predicate transfer off and on across
+# tuple/batched x serial/parallel configurations; exits nonzero if any
+# transfer-on result set diverges from transfer-off.
+go run ./cmd/ppbench -transfer -workers 4 -iters 3 -json -scale 0.02
+
 echo "OK"

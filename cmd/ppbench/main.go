@@ -9,6 +9,7 @@
 //	ppbench -batch [-workers N] [-iters N] [-json] [-scale 0.1 | -scales 0.02,0.1]
 //	ppbench -faults [-seeds N] [-workers N] [-json] [-scale 0.1]
 //	ppbench -profile [-iters N] [-json] [-scale 0.1]
+//	ppbench -transfer [-workers N] [-iters N] [-json] [-scale 0.1]
 //
 // Measurements are charged costs in random-I/O units (page I/Os plus
 // function invocations × per-call cost — the paper's methodology), reported
@@ -39,6 +40,15 @@
 // costs must match exactly (profiling is observational). The profiled runs'
 // per-operator est-vs-actual trees are printed and, with -json, written to
 // BENCH_profile.json.
+//
+// With -transfer, Queries 3–5 run with predicate transfer off and on across
+// tuple/batched × serial/parallel configurations: a serial prepass builds a
+// Bloom filter per join-key equivalence class and the main scans probe the
+// received filters before decoding. Transfer-on results must be identical to
+// transfer-off in every configuration; the report compares wall time,
+// charged cost (filter builds and probes are charged — transfer is never
+// free), rows pruned, and filter false-positive rates. -json writes
+// BENCH_transfer.json.
 package main
 
 import (
@@ -63,6 +73,7 @@ func main() {
 	batch := flag.Bool("batch", false, "run the tuple-vs-batch-vs-parallel execution bench instead of the figures")
 	faults := flag.Bool("faults", false, "run the fault/timeout sweep instead of the figures")
 	profile := flag.Bool("profile", false, "run the per-operator profiling bench instead of the figures")
+	transfer := flag.Bool("transfer", false, "run the predicate-transfer off-vs-on bench instead of the figures")
 	seeds := flag.Int("seeds", 3, "with -faults, fault sites tried per query")
 	workers := flag.Int("workers", 0, "parallel worker fan-out (0 = max(4, GOMAXPROCS))")
 	iters := flag.Int("iters", 1, "with -parallel/-batch, time each mode best-of-N runs")
@@ -81,6 +92,11 @@ func main() {
 
 	if *profile {
 		runProfileBench(*scale, *iters, *jsonOut)
+		return
+	}
+
+	if *transfer {
+		runTransferBench(*scale, resolveWorkers(*workers), *iters, *jsonOut)
 		return
 	}
 
@@ -277,6 +293,36 @@ func runProfileBench(scale float64, iters int, jsonOut bool) {
 	}
 	if !bench.Pass {
 		fmt.Fprintln(os.Stderr, "ppbench: profiling changed results or charged costs")
+		os.Exit(1)
+	}
+}
+
+// runTransferBench executes the predicate-transfer off-vs-on comparison and
+// exits nonzero when transfer changed any result set.
+func runTransferBench(scale float64, workers, iters int, jsonOut bool) {
+	fmt.Fprintf(os.Stderr, "building benchmark database at scale %.3f (%d workers, %d iters)…\n",
+		scale, workers, iters)
+	h, err := harness.NewParallel(scale, workers)
+	if err != nil {
+		fatal(err)
+	}
+	bench, err := h.RunTransferBench(workers, iters)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(bench)
+	if jsonOut {
+		data, err := bench.JSON()
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile("BENCH_transfer.json", append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "wrote BENCH_transfer.json")
+	}
+	if !bench.Pass {
+		fmt.Fprintln(os.Stderr, "ppbench: predicate transfer changed a result set")
 		os.Exit(1)
 	}
 }

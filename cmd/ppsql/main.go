@@ -4,6 +4,7 @@
 //
 //	\algo pushdown|pullup|pullrank|migration|ldl|ldl-ikkbz|exhaustive|naive
 //	\caching on|off
+//	\transfer on|off
 //	\tables   \funcs   \help   \q
 //
 // Prefix a query with EXPLAIN to see its plan without running it, or with
@@ -25,10 +26,11 @@ func main() {
 	caching := flag.Bool("caching", false, "start with predicate caching enabled")
 	timeout := flag.Duration("timeout", 0, "per-query wall-clock deadline (e.g. 5s; 0 = none)")
 	profile := flag.Bool("profile", false, "profile every query and print the per-operator tree as JSON")
+	transfer := flag.Bool("transfer", false, "start with predicate transfer (Bloom pre-filtering) enabled")
 	flag.Parse()
 
 	fmt.Fprintf(os.Stderr, "loading benchmark database at scale %.3f…\n", *scale)
-	db, err := predplace.Open(predplace.Config{Scale: *scale, Caching: *caching, Timeout: *timeout, Profile: *profile})
+	db, err := predplace.Open(predplace.Config{Scale: *scale, Caching: *caching, Timeout: *timeout, Profile: *profile, Transfer: *transfer})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ppsql:", err)
 		os.Exit(1)

@@ -112,3 +112,81 @@ func TestFaultEveryReadSite(t *testing.T) {
 	}
 	db.SetParallelism(1)
 }
+
+// TestFaultTransferPrepass walks an injected read fault through every page
+// read of a transfer-enabled query — the Bloom-filter build scans included.
+// A fault landing in the prepass must abort the whole query cleanly (error
+// wrapping the injected fault, zero pinned frames, goroutine baseline
+// restored), never leave a half-built filter pruning rows of a later query,
+// and never charge the failed I/O. A run the fault misses must return rows
+// identical to the fault-free baseline.
+func TestFaultTransferPrepass(t *testing.T) {
+	db, err := predplace.Open(predplace.Config{Scale: 0.01, Tables: []int{1, 2}, Transfer: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sql := "SELECT * FROM t1, t2 WHERE t1.ua1 = t2.ua1 AND costly10(t1.u10)"
+
+	db.SetFaults(&predplace.FaultConfig{}) // count-only: no injection
+	base, err := db.Query(sql, predplace.Migration)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads, _, _ := db.FaultCounts()
+	db.SetFaults(nil)
+	if reads == 0 {
+		t.Fatal("no page reads observed")
+	}
+	baseRows := canonRows(base)
+	baseCharged := base.Stats.Charged()
+
+	for _, p := range []int{1, 4} {
+		db.SetParallelism(p)
+		for n := int64(1); n <= reads; n++ {
+			audit := harness.StartLeakAudit()
+			db.SetFaults(&predplace.FaultConfig{FailReadN: n})
+			res, err := db.Query(sql, predplace.Migration)
+			db.SetFaults(nil)
+			if err != nil && !errors.Is(err, predplace.ErrInjectedFault) {
+				t.Fatalf("P=%d failN=%d: error does not wrap the injected fault: %v", p, n, err)
+			}
+			if err == nil {
+				got := canonRows(res)
+				if len(got) != len(baseRows) {
+					t.Fatalf("P=%d failN=%d: clean run returned %d rows, baseline %d", p, n, len(got), len(baseRows))
+				}
+				for k := range got {
+					if got[k] != baseRows[k] {
+						t.Fatalf("P=%d failN=%d: clean run row %d differs from baseline", p, n, k)
+					}
+				}
+				// Charged cost is deterministic; a survived fault must not
+				// have charged anything extra (failed I/O is never charged).
+				if c := res.Stats.Charged(); c > baseCharged+1e-6 || c < baseCharged-1e-6 {
+					t.Fatalf("P=%d failN=%d: charged %v, baseline %v", p, n, c, baseCharged)
+				}
+			}
+			if err := audit.Verify(db); err != nil {
+				t.Fatalf("P=%d failN=%d: %v", p, n, err)
+			}
+		}
+	}
+	db.SetParallelism(1)
+
+	// A charged-cost budget the prepass itself exceeds must surface as a
+	// DNF — the paper's did-not-finish outcome — not an error, with nothing
+	// pinned afterwards.
+	audit := harness.StartLeakAudit()
+	db.SetBudget(0.5)
+	res, err := db.Query(sql, predplace.Migration)
+	db.SetBudget(0)
+	if err != nil {
+		t.Fatalf("budget abort during prepass: %v", err)
+	}
+	if !res.DNF {
+		t.Fatal("budget abort during prepass: want DNF")
+	}
+	if err := audit.Verify(db); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -35,6 +35,12 @@ const (
 	// HashSpillPerTuple simulates Grace-hash partition traffic per tuple on
 	// each side (write + read of partitions).
 	HashSpillPerTuple = 0.026
+	// BloomAddPerTuple and BloomProbePerTuple charge predicate-transfer
+	// Bloom filter insertions and probes (CPU-only, but the model prices
+	// them so transfer is never free; an add hashes once and touches a
+	// cache line eight times, a probe does the same read-only).
+	BloomAddPerTuple   = 0.002
+	BloomProbePerTuple = 0.001
 )
 
 // Model estimates cardinalities and costs over plan trees.
@@ -46,6 +52,35 @@ type Model struct {
 	// bounded by 1, and expensive-filter invocation estimates are capped by
 	// the distinct count of the filter's argument columns (§5.1).
 	Caching bool
+	// Transfer, when non-nil, makes scans reflect predicate transfer: each
+	// receiving table's cardinality shrinks by its combined filter
+	// selectivity and its cost grows by the per-record probe charge. Set by
+	// the optimizer (ComputeTransfer) before planning, so every placement
+	// and join-order decision is taken under transfer-adjusted estimates —
+	// an expensive predicate whose survivors seed a filter exports its
+	// selectivity, which moves the (s−1)/c rank knife-edge.
+	Transfer *TransferInfo
+}
+
+// transferSel returns the combined received-filter selectivity for a base
+// table (1 when transfer is off or the table receives nothing).
+func (m *Model) transferSel(table string) float64 {
+	if m.Transfer == nil {
+		return 1
+	}
+	if s, ok := m.Transfer.Sel[table]; ok && s > 0 && s < 1 {
+		return s
+	}
+	return 1
+}
+
+// transferRecv returns the filter columns a base table receives (nil when
+// transfer is off).
+func (m *Model) transferRecv(table string) []string {
+	if m.Transfer == nil {
+		return nil
+	}
+	return m.Transfer.Recv[table]
 }
 
 // NewModel builds a cost model over the given catalog.
@@ -119,6 +154,14 @@ func (m *Model) annotate(n plan.Node) (streamInfo, error) {
 			return streamInfo{}, err
 		}
 		info := streamInfo{card: float64(tab.Card), cost: float64(tab.Pages()) * SeqPageCost}
+		// Received transfer filters: every record is probed before the
+		// full-row decode, and only the filtered fraction flows upstream.
+		t.TransferRecv, t.TransferSel = nil, 0
+		if recv := m.transferRecv(t.Table); len(recv) > 0 {
+			info.cost += float64(tab.Card) * float64(len(recv)) * BloomProbePerTuple
+			info.card *= m.transferSel(t.Table)
+			t.TransferRecv, t.TransferSel = recv, m.transferSel(t.Table)
+		}
 		t.EstCard, t.EstCost = info.card, info.cost
 		return info, nil
 
@@ -137,6 +180,14 @@ func (m *Model) annotate(n plan.Node) (streamInfo, error) {
 		if t.Eq == nil && t.Lo == nil && t.Hi == nil {
 			leaves := float64(tab.Card) / 256
 			cost = leaves*RandPageCost + card*RandPageCost
+		}
+		// Transfer filters are probed on the already-fetched rows (the
+		// random I/O is paid either way); pruning shrinks the output.
+		t.TransferRecv, t.TransferSel = nil, 0
+		if recv := m.transferRecv(t.Table); len(recv) > 0 {
+			cost += card * float64(len(recv)) * BloomProbePerTuple
+			card *= m.transferSel(t.Table)
+			t.TransferRecv, t.TransferSel = recv, m.transferSel(t.Table)
 		}
 		info := streamInfo{card: card, cost: cost}
 		t.EstCard, t.EstCost = info.card, info.cost
@@ -225,6 +276,13 @@ func (m *Model) annotateJoin(j *plan.Join) (streamInfo, error) {
 		// Inner-side filters are re-evaluated on every pass; with caching,
 		// total invocations are bounded by distinct argument bindings.
 		streamCard := float64(tab.Card)
+		// The rescanned inner probes its received transfer filters on every
+		// pass (the executor rebuilds the scan per outer tuple), pruning the
+		// stream before the inner-side filters see it.
+		if recv := m.transferRecv(table); len(recv) > 0 {
+			cost += passes * streamCard * float64(len(recv)) * BloomProbePerTuple
+			streamCard *= m.transferSel(table)
+		}
 		for _, f := range filters {
 			inv := m.FilterInvocations(f, passes*streamCard)
 			cost += inv * f.CostPerTuple

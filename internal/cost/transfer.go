@@ -1,0 +1,180 @@
+package cost
+
+// Transfer-side estimation (DESIGN.md §16): before planning, the optimizer
+// derives each table's received-filter selectivity from the query's join-key
+// equivalence classes, so the DP, the rank calculations, and PushDown vs
+// Migration decisions all see the post-transfer cardinalities. The estimate
+// mirrors the executor's prepass: classes from equality join predicates,
+// per-table local selectivities from the predicates the prepass actually
+// applies (cheap comparisons always, expensive functions only when the
+// cache makes their prepass evaluation pay for itself).
+
+import (
+	"math"
+	"sort"
+
+	"predplace/internal/catalog"
+	"predplace/internal/expr"
+	"predplace/internal/query"
+)
+
+// transferMinSel floors the combined per-table selectivity; estimates below
+// it are indistinguishable from "everything pruned" and would destabilize
+// join-order comparisons.
+const transferMinSel = 1e-6
+
+// TransferInfo carries the optimizer's transfer estimates: set as
+// Model.Transfer it adjusts every scan's cardinality and cost, and its
+// PrepassCost is added once to the plan's total (optimizer.Info.EstCost),
+// never inside the recursive annotation — the prepass runs once per query,
+// not once per candidate subtree.
+type TransferInfo struct {
+	// Sel maps table → the combined selectivity of its received filters
+	// (product over its equivalence classes of the containment ratio
+	// against the class's smallest surviving member).
+	Sel map[string]float64
+	// Recv maps table → its own join-key columns with received filters,
+	// sorted — what the scans will probe, and what EXPLAIN annotates.
+	Recv map[string][]string
+	// Classes counts the equivalence classes spanning two or more tables.
+	Classes int
+	// PrepassCost estimates the transfer prepass's charged cost: up to two
+	// heap scans per participating table plus its filter probes and builds.
+	// Deliberately conservative (the backward pass often skips tables, and
+	// builds happen only on survivors).
+	PrepassCost float64
+}
+
+// ComputeTransfer estimates predicate transfer's effect for a query, or nil
+// when no equality-join equivalence class spans two tables (transfer would
+// be a no-op). Caching mirrors the executor: with the predicate cache on,
+// cacheable expensive selections participate in the prepass, exporting
+// their selectivity into the filters their table seeds.
+func ComputeTransfer(cat *catalog.Catalog, q *query.Query, caching bool) (*TransferInfo, error) {
+	// Union-find over "table.col" keys, seeded by equality join predicates.
+	parent := map[string]string{}
+	refs := map[string]query.ColRef{}
+	key := func(r query.ColRef) string {
+		k := r.Table + "." + r.Col
+		refs[k] = r
+		return k
+	}
+	var find func(string) string
+	find = func(x string) string {
+		p, ok := parent[x]
+		if !ok || p == x {
+			parent[x] = x
+			return x
+		}
+		root := find(p)
+		parent[x] = root
+		return root
+	}
+	for _, p := range q.Preds {
+		if p.Kind == query.KindJoinCmp && p.Op == expr.OpEQ && len(p.Tables) == 2 {
+			ra, rb := find(key(p.Left)), find(key(p.Right))
+			if ra != rb {
+				if rb < ra {
+					ra, rb = rb, ra
+				}
+				parent[rb] = ra
+			}
+		}
+	}
+	groups := map[string][]string{}
+	for k := range parent {
+		r := find(k)
+		groups[r] = append(groups[r], k)
+	}
+
+	// Per-table local selectivity, matching what the prepass applies.
+	localSel := func(t string) float64 {
+		sel := 1.0
+		for _, p := range q.SelectionsOn(t) {
+			include := false
+			switch p.Kind {
+			case query.KindSelCmp:
+				include = true
+			case query.KindFunc:
+				include = caching && p.Func != nil && p.Func.Cacheable
+			default: // join predicates are not local selections
+			}
+			if include && p.Selectivity > 0 && p.Selectivity < 1 {
+				sel *= p.Selectivity
+			}
+		}
+		return sel
+	}
+
+	info := &TransferInfo{Sel: map[string]float64{}, Recv: map[string][]string{}}
+	classTables := map[string]int{} // table → number of classes it is in
+	for _, members := range groups {
+		tabs := map[string]bool{}
+		for _, m := range members {
+			tabs[refs[m].Table] = true
+		}
+		if len(tabs) < 2 {
+			continue
+		}
+		info.Classes++
+		// Surviving distinct values per member: min(distinct, card×localSel).
+		type member struct {
+			ref      query.ColRef
+			distinct float64
+			sd       float64
+		}
+		ms := make([]member, 0, len(members))
+		for _, k := range members {
+			ref := refs[k]
+			tab, err := cat.Table(ref.Table)
+			if err != nil {
+				return nil, err
+			}
+			col, err := tab.Column(ref.Col)
+			if err != nil {
+				return nil, err
+			}
+			d := float64(col.Distinct)
+			if d <= 0 {
+				d = float64(tab.Card)
+			}
+			ms = append(ms, member{ref: ref, distinct: d, sd: math.Min(d, float64(tab.Card)*localSel(ref.Table))})
+		}
+		for i, m := range ms {
+			// Containment: of this member's distinct values, at most the
+			// smallest other member's surviving distinct count can join.
+			minOther := math.Inf(1)
+			for j, o := range ms {
+				if j != i && o.ref.Table != m.ref.Table && o.sd < minOther {
+					minOther = o.sd
+				}
+			}
+			if math.IsInf(minOther, 1) {
+				continue
+			}
+			sel := math.Min(1, minOther/m.distinct)
+			t := m.ref.Table
+			if _, ok := info.Sel[t]; !ok {
+				info.Sel[t] = 1
+			}
+			info.Sel[t] = math.Max(info.Sel[t]*sel, transferMinSel)
+			info.Recv[t] = append(info.Recv[t], m.ref.Col)
+			classTables[t]++
+		}
+	}
+	if info.Classes == 0 {
+		return nil, nil
+	}
+	for t := range info.Recv {
+		sort.Strings(info.Recv[t])
+	}
+	for t, n := range classTables {
+		tab, err := cat.Table(t)
+		if err != nil {
+			return nil, err
+		}
+		info.PrepassCost += 2 * (float64(tab.Pages())*SeqPageCost +
+			float64(tab.Card)*float64(n)*(BloomProbePerTuple+BloomAddPerTuple))
+	}
+	return info, nil
+}

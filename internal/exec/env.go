@@ -79,6 +79,14 @@ type Env struct {
 	// byte-identical with it on or off; wall time is never charged. Off by
 	// default, keeping the hot paths allocation-free.
 	Profile bool
+	// Transfer enables the predicate-transfer pre-filter pass: before the
+	// main plan runs, Bloom filters flood selectivity across the join
+	// graph's equality classes and the plan's scans consult them to drop
+	// non-joining rows early (DESIGN.md §16). Filter builds and probes are
+	// charged into the cost model (never free), and the pass is serial and
+	// deterministic, so results and charged cost stay invariant across
+	// Parallelism and BatchSize. Off by default: byte-identical execution.
+	Transfer bool
 
 	baseIO storage.IOStats
 	// syntheticIO accumulates bulk synthetic charges (external-sort spill);
@@ -87,6 +95,14 @@ type Env struct {
 	syntheticMu sync.Mutex
 	syntheticIO float64
 	spillTuples atomic.Int64
+	// bloomAdds and bloomProbes count predicate-transfer filter operations;
+	// like spillTuples, totals are count×constant products, so the charge is
+	// exact in any evaluation order (parallelism/batching-invariant).
+	bloomAdds   atomic.Int64
+	bloomProbes atomic.Int64
+	// transfer holds the prepass's filters and counters for the running
+	// query (nil when Transfer is off or the plan has no transferable join).
+	transfer *transferState
 
 	traceMu sync.Mutex
 	trace   map[plan.Node]*int64
@@ -141,6 +157,9 @@ func (e *Env) begin() error {
 	e.baseIO = e.Acct.Stats()
 	e.syntheticIO = 0
 	e.spillTuples.Store(0)
+	e.bloomAdds.Store(0)
+	e.bloomProbes.Store(0)
+	e.transfer = nil
 	e.trace = map[plan.Node]*int64{}
 	if e.Profile {
 		e.prof = map[plan.Node]*opCounters{}
@@ -163,12 +182,23 @@ func (e *Env) ChargeSynthetic(units float64) {
 // and independent of the order parallel workers charge it in.
 func (e *Env) ChargeSpillTuple() { e.spillTuples.Add(1) }
 
+// ChargeBloomAdd charges n predicate-transfer filter insertions
+// (cost.BloomAddPerTuple each); counter-based like ChargeSpillTuple, so the
+// total is exact in any evaluation order.
+func (e *Env) ChargeBloomAdd(n int) { e.bloomAdds.Add(int64(n)) }
+
+// ChargeBloomProbe charges n predicate-transfer filter probes
+// (cost.BloomProbePerTuple each).
+func (e *Env) ChargeBloomProbe(n int) { e.bloomProbes.Add(int64(n)) }
+
 // synthetic returns the synthetic I/O charged so far.
 func (e *Env) synthetic() float64 {
 	e.syntheticMu.Lock()
 	bulk := e.syntheticIO
 	e.syntheticMu.Unlock()
-	return bulk + float64(e.spillTuples.Load())*cost.HashSpillPerTuple
+	return bulk + float64(e.spillTuples.Load())*cost.HashSpillPerTuple +
+		float64(e.bloomAdds.Load())*cost.BloomAddPerTuple +
+		float64(e.bloomProbes.Load())*cost.BloomProbePerTuple
 }
 
 // Charged returns the charged cost so far: page I/Os since begin plus
@@ -248,6 +278,34 @@ type Stats struct {
 	// facade's LIMIT truncates Result.Rows after execution without touching
 	// this count, and COUNT(*) replaces it with the single aggregate row.
 	Rows int
+	// Transfer summarizes the predicate-transfer stage (nil unless
+	// Env.Transfer was on and the plan had a transferable join).
+	Transfer *TransferStats
+}
+
+// TransferStats summarizes one query's predicate-transfer stage.
+type TransferStats struct {
+	// Classes is the number of join-key equivalence classes spanning two or
+	// more tables; FiltersBuilt counts filter (re)builds across both passes
+	// and BuildRows the keys inserted into them.
+	Classes      int   `json:"classes"`
+	FiltersBuilt int   `json:"filters_built"`
+	BuildRows    int64 `json:"build_rows"`
+	// Probes counts every filter test (prepass and main scans); Pruned the
+	// rows those tests rejected.
+	Probes int64 `json:"probes"`
+	Pruned int64 `json:"pruned"`
+	// PrepassCharged is the charged cost of the prepass itself (its page
+	// I/O, filter builds and probes, and any cache-warming invocations);
+	// ProbeCharge is the charged cost of the main scans' probes. Both are
+	// part of Stats.Charged — transfer's overhead is never free.
+	PrepassCharged float64 `json:"prepass_charged"`
+	ProbeCharge    float64 `json:"probe_charge"`
+	// FPEst is the analytic false-positive estimate averaged over the final
+	// class filters; FPActual the measured rate over the main scans'
+	// non-member probes (−1 unless profiling captured the key sets).
+	FPEst    float64 `json:"fp_est"`
+	FPActual float64 `json:"fp_actual"`
 }
 
 // Charged is the paper's single-number measurement in random-I/O units.
@@ -264,6 +322,10 @@ func (s Stats) String() string {
 	if s.CacheHits != 0 || s.CacheMisses != 0 || s.CacheEntries != 0 {
 		base += fmt.Sprintf(" cache(hits=%d misses=%d entries=%d)",
 			s.CacheHits, s.CacheMisses, s.CacheEntries)
+	}
+	if t := s.Transfer; t != nil {
+		base += fmt.Sprintf(" transfer(classes=%d built=%d probes=%d pruned=%d)",
+			t.Classes, t.FiltersBuilt, t.Probes, t.Pruned)
 	}
 	return base
 }
@@ -283,7 +345,7 @@ func (e *Env) finish(rows int) Stats {
 	if e.Cache != nil {
 		hits, misses, entries = e.Cache.Stats()
 	}
-	return Stats{
+	s := Stats{
 		IO:           e.Acct.Stats().Sub(e.baseIO),
 		SyntheticIO:  e.synthetic(),
 		FuncCharge:   charge,
@@ -293,4 +355,8 @@ func (e *Env) finish(rows int) Stats {
 		CacheEntries: entries,
 		Rows:         rows,
 	}
+	if e.transfer != nil {
+		s.Transfer = e.transfer.stats(e)
+	}
+	return s
 }

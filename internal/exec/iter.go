@@ -70,14 +70,19 @@ func build(e *Env, n plan.Node) (Iterator, error) {
 	return nil, fmt.Errorf("exec: unknown plan node %T", n)
 }
 
-// seqScanIter reads a heap file front to back.
+// seqScanIter reads a heap file front to back. With predicate transfer on,
+// received Bloom filters are probed on the raw record (decoding only the
+// join-key columns) before the full-row decode, so pruned rows cost one
+// partial decode and a probe — never a row allocation.
 type seqScanIter struct {
-	e     *Env
-	tab   *catalog.Table
-	it    *storage.HeapIter
-	count int
-	alloc rowAlloc
-	memo  catalog.DecodeMemo
+	e      *Env
+	tab    *catalog.Table
+	it     *storage.HeapIter
+	count  int
+	alloc  rowAlloc
+	memo   catalog.DecodeMemo
+	probes []tableProbe
+	tc     *opCounters
 }
 
 func newSeqScan(e *Env, s *plan.SeqScan) (Iterator, error) {
@@ -88,11 +93,16 @@ func newSeqScan(e *Env, s *plan.SeqScan) (Iterator, error) {
 	if tab.Heap == nil || tab.Codec == nil {
 		return nil, fmt.Errorf("exec: table %s has no storage", s.Table)
 	}
-	return &seqScanIter{e: e, tab: tab}, nil
+	it := &seqScanIter{e: e, tab: tab}
+	if e.prof != nil {
+		it.tc = e.nodeProf(s)
+	}
+	return it, nil
 }
 
 func (s *seqScanIter) Open() error {
 	s.it = s.tab.Heap.Scan()
+	s.probes = s.e.transferProbes(s.tab.Name)
 	return nil
 }
 
@@ -100,21 +110,32 @@ func (s *seqScanIter) Next() (expr.Row, bool, error) {
 	if s.it == nil {
 		return nil, false, fmt.Errorf("exec: Next before Open on SeqScan(%s)", s.tab.Name)
 	}
-	rec, _, ok, err := s.it.Next()
-	if err != nil || !ok {
-		return nil, false, err
-	}
-	s.count++
-	if s.count%1024 == 0 {
-		if err := s.e.checkAbort(); err != nil {
+	for {
+		rec, _, ok, err := s.it.Next()
+		if err != nil || !ok {
 			return nil, false, err
 		}
+		s.count++
+		if s.count%1024 == 0 {
+			if err := s.e.checkAbort(); err != nil {
+				return nil, false, err
+			}
+		}
+		if len(s.probes) > 0 {
+			keep, err := s.e.probeRecord(s.tab.Codec, rec, s.probes, s.tc)
+			if err != nil {
+				return nil, false, err
+			}
+			if !keep {
+				continue
+			}
+		}
+		row, err := s.tab.Codec.Decode(rec)
+		if err != nil {
+			return nil, false, err
+		}
+		return row, true, nil
 	}
-	row, err := s.tab.Codec.Decode(rec)
-	if err != nil {
-		return nil, false, err
-	}
-	return row, true, nil
 }
 
 // NextBatch is the vectorized scan: records are referenced in place on the
@@ -142,6 +163,15 @@ func (s *seqScanIter) NextBatch(dst []expr.Row) (int, error) {
 				return 0, err
 			}
 		}
+		if len(s.probes) > 0 {
+			keep, err := s.e.probeRecord(s.tab.Codec, rec, s.probes, s.tc)
+			if err != nil {
+				return 0, err
+			}
+			if !keep {
+				continue
+			}
+		}
 		row := s.alloc.next(width)
 		if err := s.tab.Codec.DecodeIntoMemo(rec, row, &s.memo); err != nil {
 			return 0, err
@@ -166,15 +196,17 @@ func (s *seqScanIter) Close() error {
 // the B-tree's leaf iterator lazily, so a wide range never materializes
 // every TID up front. Close releases both.
 type indexScanIter struct {
-	e     *Env
-	node  *plan.IndexScan
-	tab   *catalog.Table
-	tids  []storage.TID
-	pos   int
-	rng   *btree.Iter
-	count int
-	alloc rowAlloc
-	memo  catalog.DecodeMemo
+	e      *Env
+	node   *plan.IndexScan
+	tab    *catalog.Table
+	tids   []storage.TID
+	pos    int
+	rng    *btree.Iter
+	count  int
+	alloc  rowAlloc
+	memo   catalog.DecodeMemo
+	probes []tableProbe
+	tc     *opCounters
 }
 
 func newIndexScan(e *Env, s *plan.IndexScan) (Iterator, error) {
@@ -185,7 +217,11 @@ func newIndexScan(e *Env, s *plan.IndexScan) (Iterator, error) {
 	if !tab.HasIndex(s.Col) {
 		return nil, fmt.Errorf("exec: no index on %s.%s", s.Table, s.Col)
 	}
-	return &indexScanIter{e: e, node: s, tab: tab}, nil
+	it := &indexScanIter{e: e, node: s, tab: tab}
+	if e.prof != nil {
+		it.tc = e.nodeProf(s)
+	}
+	return it, nil
 }
 
 func (s *indexScanIter) Open() error {
@@ -193,6 +229,7 @@ func (s *indexScanIter) Open() error {
 	s.tids = nil
 	s.pos, s.count = 0, 0
 	s.rng = nil
+	s.probes = s.e.transferProbes(s.tab.Name)
 	switch {
 	case s.node.Eq != nil:
 		if s.node.Eq.Kind != expr.TInt {
@@ -229,25 +266,32 @@ func (s *indexScanIter) nextTID() (storage.TID, bool) {
 }
 
 func (s *indexScanIter) Next() (expr.Row, bool, error) {
-	tid, ok := s.nextTID()
-	if !ok {
-		return nil, false, nil
-	}
-	s.count++
-	if s.count%1024 == 0 {
-		if err := s.e.checkAbort(); err != nil {
+	for {
+		tid, ok := s.nextTID()
+		if !ok {
+			return nil, false, nil
+		}
+		s.count++
+		if s.count%1024 == 0 {
+			if err := s.e.checkAbort(); err != nil {
+				return nil, false, err
+			}
+		}
+		rec, err := s.tab.Heap.Get(tid)
+		if err != nil {
 			return nil, false, err
 		}
+		row, err := s.tab.Codec.Decode(rec)
+		if err != nil {
+			return nil, false, err
+		}
+		// Index fetches already paid the random I/O, so received filters are
+		// probed on the decoded row; pruning saves the operators above.
+		if len(s.probes) > 0 && !s.e.probeRow(row, s.probes, s.tc) {
+			continue
+		}
+		return row, true, nil
 	}
-	rec, err := s.tab.Heap.Get(tid)
-	if err != nil {
-		return nil, false, err
-	}
-	row, err := s.tab.Codec.Decode(rec)
-	if err != nil {
-		return nil, false, err
-	}
-	return row, true, nil
 }
 
 // NextBatch fetches matching heap tuples in batch, decoding each record in
@@ -273,6 +317,9 @@ func (s *indexScanIter) NextBatch(dst []expr.Row) (int, error) {
 		row = s.alloc.next(width)
 		if err := s.tab.Heap.View(tid, decode); err != nil {
 			return 0, err
+		}
+		if len(s.probes) > 0 && !s.e.probeRow(row, s.probes, s.tc) {
+			continue
 		}
 		dst[n] = row
 		n++

@@ -175,9 +175,11 @@ func (f *fanIn) shutdown() {
 // the serial scan (the sequential/random split may shift — the charged
 // total does not).
 type parallelScanIter struct {
-	e   *Env
-	tab *catalog.Table
-	fan fanIn
+	e      *Env
+	tab    *catalog.Table
+	fan    fanIn
+	probes []tableProbe
+	tc     *opCounters
 }
 
 func newParallelSeqScan(e *Env, s *plan.SeqScan) (Iterator, error) {
@@ -188,10 +190,18 @@ func newParallelSeqScan(e *Env, s *plan.SeqScan) (Iterator, error) {
 	if tab.Heap == nil || tab.Codec == nil {
 		return nil, fmt.Errorf("exec: table %s has no storage", s.Table)
 	}
-	return &parallelScanIter{e: e, tab: tab}, nil
+	it := &parallelScanIter{e: e, tab: tab}
+	if e.prof != nil {
+		it.tc = e.nodeProf(s)
+	}
+	return it, nil
 }
 
 func (s *parallelScanIter) Open() error {
+	// Resolved once before the workers spawn; the probe list and its
+	// filters are immutable after the transfer prepass, so workers share
+	// them without locks.
+	s.probes = s.e.transferProbes(s.tab.Name)
 	n := s.tab.Heap.NumPages()
 	w := s.e.workers()
 	if w > n {
@@ -246,6 +256,17 @@ func (s *parallelScanIter) scanPartition(lo, hi int) {
 				putRowBuf(buf)
 				s.fan.send(rowBatch{err: err})
 				return
+			}
+		}
+		if len(s.probes) > 0 {
+			keep, err := s.e.probeRecord(s.tab.Codec, rec, s.probes, s.tc)
+			if err != nil {
+				putRowBuf(buf)
+				s.fan.send(rowBatch{err: err})
+				return
+			}
+			if !keep {
+				continue
 			}
 		}
 		row := alloc.next(width)

@@ -39,6 +39,9 @@ type opCounters struct {
 	invocations atomic.Int64
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
+	// predicate-transfer counters, fed by the scan's filter probes
+	transferProbes atomic.Int64
+	transferPruned atomic.Int64
 	// funcCharge holds the float64 bits of Σ invocations × per-call cost
 	// attributed to this node (CAS-accumulated).
 	funcCharge atomic.Uint64
@@ -189,6 +192,10 @@ type OpProfile struct {
 	CacheMisses int64 `json:"cache_misses,omitempty"`
 	// FuncCharge is Σ invocations × per-call cost at this node.
 	FuncCharge float64 `json:"func_charge,omitempty"`
+	// TransferProbes and TransferPruned count this scan's received-filter
+	// probes and the rows they rejected (predicate transfer only).
+	TransferProbes int64 `json:"transfer_probes,omitempty"`
+	TransferPruned int64 `json:"transfer_pruned,omitempty"`
 	// Children mirror the plan node's inputs (outer first for joins).
 	Children []*OpProfile `json:"children,omitempty"`
 }
@@ -246,9 +253,11 @@ func assembleProfile(e *Env, n plan.Node) *OpProfile {
 		IO:          c.io(),
 		PredEvals:   c.predEvals.Load(),
 		Invocations: c.invocations.Load(),
-		CacheHits:   c.cacheHits.Load(),
-		CacheMisses: c.cacheMisses.Load(),
-		FuncCharge:  c.charge(),
+		CacheHits:      c.cacheHits.Load(),
+		CacheMisses:    c.cacheMisses.Load(),
+		FuncCharge:     c.charge(),
+		TransferProbes: c.transferProbes.Load(),
+		TransferPruned: c.transferPruned.Load(),
 	}
 	for _, child := range n.Children() {
 		cp := assembleProfile(e, child)

@@ -65,13 +65,31 @@ func Run(e *Env, root plan.Node) (*Result, error) {
 			e.nodeProf(n)
 		})
 	}
-	it, err := Build(e, root)
-	if err != nil {
-		return nil, err
-	}
 	res := &Result{}
 	for _, c := range root.Cols() {
 		res.Cols = append(res.Cols, c.String())
+	}
+	if e.Transfer {
+		// Predicate-transfer prepass: build and exchange the join graph's
+		// Bloom filters before the main plan runs. A budget abort here is
+		// the same measurement outcome as one mid-query (DNF below);
+		// cancellation and injected faults surface as errors, as always.
+		if err := e.runTransferPrepass(root); err != nil {
+			if errors.Is(err, ErrBudgetExceeded) {
+				res.DNF = true
+				res.Stats = e.finish(0)
+				res.NodeRows = collectTrace(e)
+				if e.prof != nil {
+					res.Profile = assembleProfile(e, root)
+				}
+				return res, nil
+			}
+			return nil, err
+		}
+	}
+	it, err := Build(e, root)
+	if err != nil {
+		return nil, err
 	}
 	rows, err := pump(e, it, res)
 	cerr := it.Close()

@@ -82,7 +82,7 @@ func TestCorpusCoversSuite(t *testing.T) {
 			kinds[analyzer]["good"] = true
 		}
 	}
-	for _, want := range []string{"pinbalance", "chargeonce", "atomicconsistency", "lockbalance", "suppress"} {
+	for _, want := range []string{"pinbalance", "chargeonce", "atomicconsistency", "lockbalance", "suppress", "ctxabort", "profileclean"} {
 		if !kinds[want]["bad"] || !kinds[want]["good"] {
 			t.Errorf("corpus lacks %s_bad*/%s_good* pair (have %v)", want, want, kinds[want])
 		}

@@ -1,0 +1,31 @@
+//corpus:path example.com/internal/exec
+
+// Package corpus11 seeds ctxabort violations in predicate-transfer shapes:
+// the filter-build scan loop and the batched probe loop charging cost per
+// iteration with no reachable abort check — exactly the loops that would
+// keep a canceled query scanning and charging through the whole prepass.
+// Fixed twins live in ctxabort_good_transfer.go.
+package corpus11
+
+type env struct{ aborted bool }
+
+func (e *env) ChargeBloomAdd(n int)   {}
+func (e *env) ChargeBloomProbe(n int) {}
+func (e *env) checkAbort() error      { return nil }
+
+// buildFilter inserts every surviving key, charging each add inside the scan
+// loop without ever consulting the abort check.
+func (e *env) buildFilter(keys []uint64) {
+	for range keys { // want "without a reachable checkAbort"
+		e.ChargeBloomAdd(1)
+	}
+}
+
+// probeFilters tests each buffered hash against the received filters,
+// charging per probe; a canceled query keeps probing to the end of the heap.
+func (e *env) probeFilters(hs []uint64, keep []bool) {
+	for i := range hs { // want "without a reachable checkAbort"
+		keep[i] = hs[i]%2 == 0
+		e.ChargeBloomProbe(1)
+	}
+}

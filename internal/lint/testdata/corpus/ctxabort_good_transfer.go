@@ -1,0 +1,38 @@
+//corpus:path example.com/internal/exec
+
+// Package corpus12 holds the fixed twins of ctxabort_bad_transfer.go: the
+// executor's two sanctioned shapes for charging inside transfer loops —
+// count locally and charge once after the loop, or keep the charge in the
+// loop with the abort check on the same cadence. Both are silent.
+package corpus12
+
+type env struct{ aborted bool }
+
+func (e *env) ChargeBloomAdd(n int)   {}
+func (e *env) ChargeBloomProbe(n int) {}
+func (e *env) checkAbort() error      { return nil }
+
+// buildFilter accumulates the adds in a local and charges once after the
+// loop — the loop body contains no charge at all.
+func (e *env) buildFilter(keys []uint64) {
+	added := 0
+	for range keys {
+		added++
+	}
+	e.ChargeBloomAdd(added)
+}
+
+// probeFilters keeps the per-probe charge but observes the abort check on
+// the loop's own cadence, so cancellation interrupts the scan.
+func (e *env) probeFilters(hs []uint64, keep []bool) error {
+	for i := range hs {
+		if i%1024 == 0 {
+			if err := e.checkAbort(); err != nil {
+				return err
+			}
+		}
+		keep[i] = hs[i]%2 == 0
+		e.ChargeBloomProbe(1)
+	}
+	return nil
+}

@@ -1,0 +1,31 @@
+//corpus:path example.com/internal/exec
+
+// Package corpus13 seeds profileclean violations in predicate-transfer
+// shapes: a scan iterator that allocates its probe scratch (hash buffer,
+// keep mask) inside Next/NextBatch on every call, regressing the hot path's
+// allocation-free contract. Fixed twins live in
+// profileclean_good_transfer.go.
+package corpus13
+
+type row []int64
+
+type probeScanIter struct {
+	hs   []uint64
+	keep []bool
+	pos  int
+}
+
+// Next allocates a fresh hash buffer per row — per-call garbage on the
+// default path.
+func (s *probeScanIter) Next() (row, bool, error) {
+	hs := make([]uint64, 256) // want "allocates on every call"
+	_ = hs
+	s.pos++
+	return nil, false, nil
+}
+
+// NextBatch rebuilds the keep mask as a literal on every batch.
+func (s *probeScanIter) NextBatch(dst []row) (int, error) {
+	s.keep = []bool{} // want "allocates on every call"
+	return 0, nil
+}

@@ -1,0 +1,32 @@
+//corpus:path example.com/internal/exec
+
+// Package corpus14 holds the fixed twins of profileclean_bad_transfer.go:
+// the probe scratch grows once under a capacity guard and is reused on the
+// steady state, so Next/NextBatch stay allocation-free per call.
+package corpus14
+
+type row []int64
+
+type probeScanIter struct {
+	hs   []uint64
+	keep []bool
+	pos  int
+}
+
+// Next reuses the hash buffer, growing it only when too small.
+func (s *probeScanIter) Next() (row, bool, error) {
+	if cap(s.hs) < 256 {
+		s.hs = make([]uint64, 256)
+	}
+	s.pos++
+	return nil, false, nil
+}
+
+// NextBatch grows the keep mask under the same guard and reslices otherwise.
+func (s *probeScanIter) NextBatch(dst []row) (int, error) {
+	if cap(s.keep) < len(dst) {
+		s.keep = make([]bool, len(dst))
+	}
+	s.keep = s.keep[:len(dst)]
+	return 0, nil
+}

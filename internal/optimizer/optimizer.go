@@ -92,6 +92,11 @@ type Options struct {
 	// (ablation: Migration then post-processes only the plans ordinary
 	// pruning kept, and can miss group pullups whose join order was pruned).
 	DisableUnpruneable bool
+	// Transfer tells the cost model the executor will run the predicate-
+	// transfer prepass: scan cardinalities shrink by the received-filter
+	// selectivities and probe/build work is charged, so placement and join
+	// ordering are decided under transfer-adjusted estimates.
+	Transfer bool
 }
 
 // Info reports planning diagnostics.
@@ -107,6 +112,11 @@ type Info struct {
 	UnpruneableRetained int
 	// MigrationPasses counts stream passes until fixpoint.
 	MigrationPasses int
+	// TransferClasses counts the join-key equivalence classes the transfer
+	// estimate found (0 when transfer is off or inapplicable), and
+	// TransferPrepassCost is the estimated prepass cost included in EstCost.
+	TransferClasses     int
+	TransferPrepassCost float64
 	// Elapsed is the planning wall time.
 	Elapsed time.Duration
 }
@@ -140,6 +150,18 @@ func (o *Optimizer) Plan(q *query.Query) (plan.Node, *Info, error) {
 	if len(q.Tables) == 0 {
 		return nil, nil, fmt.Errorf("optimizer: query has no tables")
 	}
+	// Predicate transfer: estimate the filters once per query and plan the
+	// whole search under the adjusted scans. The prepass's own cost is added
+	// to the plan total below, never inside the recursive annotation — the
+	// prepass runs once, not once per candidate subtree.
+	o.model.Transfer = nil
+	if o.opts.Transfer {
+		ti, err := cost.ComputeTransfer(o.cat, q, o.opts.Caching)
+		if err != nil {
+			return nil, nil, err
+		}
+		o.model.Transfer = ti
+	}
 	var (
 		root plan.Node
 		info *Info
@@ -164,6 +186,11 @@ func (o *Optimizer) Plan(q *query.Query) (plan.Node, *Info, error) {
 	info.Elapsed = time.Since(start)
 	info.EstCost = root.Cost()
 	info.EstCard = root.Card()
+	if ti := o.model.Transfer; ti != nil {
+		info.TransferClasses = ti.Classes
+		info.TransferPrepassCost = ti.PrepassCost
+		info.EstCost += ti.PrepassCost
+	}
 	return root, info, nil
 }
 

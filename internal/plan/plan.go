@@ -59,8 +59,14 @@ type Node interface {
 type SeqScan struct {
 	Table   string
 	ColRefs []query.ColRef
-	EstCard float64
-	EstCost float64
+	// TransferRecv lists the join-key columns for which this scan probes a
+	// received predicate-transfer Bloom filter (sorted; nil when transfer is
+	// off), and TransferSel is the estimated combined selectivity of those
+	// probes. Set by the cost model's annotation under Model.Transfer.
+	TransferRecv []string
+	TransferSel  float64
+	EstCard      float64
+	EstCost      float64
 }
 
 // Cols implements Node.
@@ -77,6 +83,10 @@ func (s *SeqScan) Cost() float64 { return s.EstCost }
 
 // Describe implements Node.
 func (s *SeqScan) Describe() string {
+	if len(s.TransferRecv) > 0 {
+		return fmt.Sprintf("SeqScan %s bloom(%s sel=%.3f)",
+			s.Table, strings.Join(s.TransferRecv, ","), s.TransferSel)
+	}
 	return fmt.Sprintf("SeqScan %s", s.Table)
 }
 
@@ -89,8 +99,12 @@ type IndexScan struct {
 	Lo, Hi  *expr.Value // range bounds (either may be nil)
 	Matched *query.Predicate
 	ColRefs []query.ColRef
-	EstCard float64
-	EstCost float64
+	// TransferRecv and TransferSel mirror SeqScan's: received transfer
+	// filters probed on fetched rows, and their combined selectivity.
+	TransferRecv []string
+	TransferSel  float64
+	EstCard      float64
+	EstCost      float64
 }
 
 // Cols implements Node.
@@ -120,6 +134,9 @@ func (s *IndexScan) Describe() string {
 		if s.Hi != nil {
 			fmt.Fprintf(&b, " <= %s", *s.Hi)
 		}
+	}
+	if len(s.TransferRecv) > 0 {
+		fmt.Fprintf(&b, " bloom(%s sel=%.3f)", strings.Join(s.TransferRecv, ","), s.TransferSel)
 	}
 	return b.String()
 }

@@ -51,9 +51,15 @@ func validate(n Node, path string, applied map[*query.Predicate]bool) error {
 	}
 	switch t := n.(type) {
 	case *SeqScan:
+		if err := checkTransfer(t.TransferRecv, t.TransferSel, path); err != nil {
+			return err
+		}
 		return checkScanCols(t.Table, t.ColRefs, path)
 
 	case *IndexScan:
+		if err := checkTransfer(t.TransferRecv, t.TransferSel, path); err != nil {
+			return err
+		}
 		if err := checkScanCols(t.Table, t.ColRefs, path); err != nil {
 			return err
 		}
@@ -173,6 +179,23 @@ func checkEstimates(n Node, path string) error {
 	}
 	if math.IsNaN(c) || math.IsInf(c, 0) || c < 0 {
 		return fmt.Errorf("plan: %s: invalid estimated cost %v", path, c)
+	}
+	return nil
+}
+
+// checkTransfer requires transfer annotations to be internally consistent: a
+// scan with received filters must carry a usable selectivity estimate, and a
+// scan without them must not claim one (TransferSel 0 or exactly 1 — the
+// zero value, or a model that computed "no reduction").
+func checkTransfer(recv []string, sel float64, path string) error {
+	if len(recv) > 0 {
+		if math.IsNaN(sel) || sel <= 0 || sel > 1 {
+			return fmt.Errorf("plan: %s: scan receives transfer filters (%v) with invalid selectivity %v", path, recv, sel)
+		}
+		return nil
+	}
+	if sel != 0 && sel != 1 {
+		return fmt.Errorf("plan: %s: scan receives no transfer filters but has selectivity %v", path, sel)
 	}
 	return nil
 }

@@ -69,6 +69,10 @@ func (s *Session) Execute(line string, w io.Writer) bool {
 		on := strings.HasSuffix(line, "on")
 		s.DB.SetCaching(on)
 		say(w, "predicate caching:", on)
+	case strings.HasPrefix(line, `\transfer`):
+		on := strings.HasSuffix(line, "on")
+		s.DB.SetTransfer(on)
+		say(w, "predicate transfer:", on)
 	case line == `\tables`:
 		s.cmdTables(w)
 	case strings.HasPrefix(line, `\save `):
@@ -112,6 +116,7 @@ func (s *Session) cmdHelp(w io.Writer) {
 	sayf(w, "%s", `commands:
   \algo <name>      switch placement algorithm
   \caching on|off   toggle predicate caching
+  \transfer on|off  toggle predicate transfer (Bloom pre-filtering)
   \tables           list relations
   \funcs            list registered functions
   \save <path>      snapshot the database to a file

@@ -80,6 +80,21 @@ func TestCachingToggle(t *testing.T) {
 	}
 }
 
+func TestTransferToggle(t *testing.T) {
+	s := newSession(t)
+	out, _ := run(t, s, `\transfer on`)
+	if !strings.Contains(out, "true") {
+		t.Fatalf("transfer on: %q", out)
+	}
+	if !s.DB.Transfer() {
+		t.Fatal("transfer not enabled on DB")
+	}
+	out, _ = run(t, s, `\transfer off`)
+	if !strings.Contains(out, "false") {
+		t.Fatalf("transfer off: %q", out)
+	}
+}
+
 func TestRunQuery(t *testing.T) {
 	s := newSession(t)
 	out, _ := run(t, s, "SELECT * FROM t1 WHERE t1.ua1 < 3")

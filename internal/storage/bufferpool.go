@@ -292,6 +292,34 @@ func (bp *BufferPool) FlushAll() error {
 	return nil
 }
 
+// EvictUnpinned writes back and drops every unpinned frame, leaving pinned
+// frames resident. It exists so a query phase that scans tables outside the
+// main plan (the predicate-transfer prepass) can return the pool to a
+// deterministic cold state: whether a later scan's page access hits or
+// misses must not depend on what the phase happened to leave cached, or the
+// charged physical I/O would vary with executor mode and access order.
+func (bp *BufferPool) EvictUnpinned() error {
+	for i := range bp.shards {
+		s := &bp.shards[i]
+		s.mu.Lock()
+		for key, fr := range s.frames {
+			if fr.pins > 0 {
+				continue
+			}
+			if fr.dirty {
+				if err := bp.disk.WritePage(key.file, key.page); err != nil {
+					s.mu.Unlock()
+					return err
+				}
+			}
+			s.lru.Remove(fr.elem)
+			delete(s.frames, key)
+		}
+		s.mu.Unlock()
+	}
+	return nil
+}
+
 // peek returns the page without charging an I/O; used only by NewPage for
 // pages that were just allocated and have never been written to disk.
 func (d *Disk) peek(f FileID, p PageID) (*Page, bool) {

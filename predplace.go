@@ -109,6 +109,18 @@ type Config struct {
 	// time is never charged). Off by default; EXPLAIN ANALYZE profiles its
 	// one statement regardless of this setting.
 	Profile bool
+	// Transfer enables predicate transfer: before execution, a serial
+	// prepass scans the joined tables smallest-first, building a Bloom
+	// filter per join-key equivalence class from each table's survivors
+	// (cheap local predicates always applied; cacheable expensive ones when
+	// caching is on) and probing the filters built so far, forward then
+	// backward across the join graph. Main scans then probe the received
+	// filters before decoding, pruning rows that cannot join. Results are
+	// identical with it on or off; filter builds and probes are charged into
+	// the cost (never free), and the optimizer plans under transfer-adjusted
+	// cardinalities. Off by default — every figure reproduction runs without
+	// it.
+	Transfer bool
 }
 
 // DB is an open database handle. Handles are safe for sequential use; run
@@ -123,6 +135,7 @@ type DB struct {
 	batchSize   int
 	timeout     time.Duration
 	profile     bool
+	transfer    bool
 	subSeq      atomic.Int64
 }
 
@@ -160,7 +173,7 @@ func Open(cfg Config) (*DB, error) {
 		inner: inner, caching: cfg.Caching, cacheScope: pcacheScope(cfg),
 		cacheMax: cfg.CacheMaxEntries, budget: cfg.Budget,
 		parallelism: workers, batchSize: cfg.BatchSize, timeout: cfg.Timeout,
-		profile: cfg.Profile,
+		profile: cfg.Profile, transfer: cfg.Transfer,
 	}, nil
 }
 
@@ -241,6 +254,14 @@ func (d *DB) SetProfile(on bool) { d.profile = on }
 // Profiling reports whether per-operator profiling is currently enabled.
 func (d *DB) Profiling() bool { return d.profile }
 
+// SetTransfer toggles predicate transfer for subsequent queries (see
+// Config.Transfer). Transfer never changes results — only which rows reach
+// the join operators and what the query charges for getting them there.
+func (d *DB) SetTransfer(on bool) { d.transfer = on }
+
+// Transfer reports whether predicate transfer is currently enabled.
+func (d *DB) Transfer() bool { return d.transfer }
+
 // FaultConfig configures the deterministic storage fault injector; see
 // SetFaults.
 type FaultConfig = storage.FaultConfig
@@ -280,6 +301,12 @@ func (d *DB) FaultCounts() (reads, writes, injected int64) {
 // Between queries it must be zero — any other value is a page leak; the
 // test harness asserts this after every query, including aborted ones.
 func (d *DB) PinnedFrames() int { return d.inner.Pool.PinnedFrames() }
+
+// EvictPool drops every unpinned page from the buffer pool, returning it
+// to a cold state. Benchmarks call it before a measured run so the run's
+// physical I/O — and therefore its charged cost — never depends on what
+// the previous query happened to leave cached.
+func (d *DB) EvictPool() error { return d.inner.Pool.EvictUnpinned() }
 
 // ColumnSpec declares a column of a user-created table.
 type ColumnSpec struct {
@@ -462,9 +489,12 @@ func (d *DB) QueryContext(ctx context.Context, sql string, algo Algorithm) (*Res
 	if err != nil {
 		return nil, err
 	}
+	// EstCost comes from the planner's Info, not the root node: with
+	// transfer on it includes the prepass's estimated cost (identical to
+	// root.Cost() otherwise).
 	res := &Result{
 		Plan:    plan.Render(root),
-		EstCost: root.Cost(),
+		EstCost: info.EstCost,
 		Info:    *info,
 	}
 	if bound.Explain && !bound.Analyze {
@@ -512,7 +542,22 @@ func analyzedPlan(root plan.Node, out *exec.Result) string {
 	if out.Profile != nil {
 		rendered += profileSummary(out.Profile)
 	}
+	if t := out.Stats.Transfer; t != nil {
+		rendered += transferSummary(t)
+	}
 	return rendered
+}
+
+// transferSummary is the predicate-transfer line under an EXPLAIN ANALYZE
+// tree: prepass filters and their measured effect. FP rates print only when
+// measured (profiling tracks exact key sets; -1 means unmeasured).
+func transferSummary(t *exec.TransferStats) string {
+	s := fmt.Sprintf("transfer: classes=%d filters=%d built=%d probes=%d pruned=%d charged=%.1f",
+		t.Classes, t.FiltersBuilt, t.BuildRows, t.Probes, t.Pruned, t.PrepassCharged+t.ProbeCharge)
+	if t.FPActual >= 0 {
+		s += fmt.Sprintf(" fp=%.4f (est %.4f)", t.FPActual, t.FPEst)
+	}
+	return s + "\n"
 }
 
 // errFactorString renders the symmetric estimation-error factor ×max(a/e, e/a).
@@ -622,6 +667,7 @@ func (d *DB) newEnv(ctx context.Context) *exec.Env {
 		Budget:      d.budget,
 		Parallelism: d.parallelism,
 		BatchSize:   d.batchSize,
+		Transfer:    d.transfer,
 	}
 }
 
@@ -635,7 +681,7 @@ func (d *DB) plan(sql string, algo Algorithm) (plan.Node, *sqlparse.Bound, *opti
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	opt := optimizer.New(d.inner.Cat, optimizer.Options{Algorithm: algo, Caching: d.caching})
+	opt := optimizer.New(d.inner.Cat, optimizer.Options{Algorithm: algo, Caching: d.caching, Transfer: d.transfer})
 	root, info, err := opt.Plan(bound.Query)
 	if err != nil {
 		return nil, nil, nil, err

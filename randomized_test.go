@@ -130,6 +130,88 @@ func TestRandomizedAlgorithmAgreement(t *testing.T) {
 	}
 }
 
+// planShape reduces a rendered plan to its structure: per-node estimates and
+// transfer annotations are stripped, so two plans compare equal exactly when
+// they run the same operators in the same tree. Transfer-adjusted estimates
+// may legitimately pick a different join order; the charged-cost
+// monotonicity invariant below only applies when they did not.
+func planShape(p string) string {
+	lines := strings.Split(p, "\n")
+	for i, ln := range lines {
+		if k := strings.Index(ln, "  (card="); k >= 0 {
+			ln = ln[:k]
+		}
+		if k := strings.Index(ln, " bloom("); k >= 0 {
+			if end := strings.Index(ln[k:], ")"); end >= 0 {
+				ln = ln[:k] + ln[k+end+1:]
+			}
+		}
+		lines[i] = ln
+	}
+	return strings.Join(lines, "\n")
+}
+
+func TestRandomizedTransferAgreement(t *testing.T) {
+	// Predicate transfer must never change the answer — only which rows the
+	// join operators see, and the charged cost of getting them there. Sweep
+	// random join queries with transfer off and on, caching off and on.
+	t.Setenv("PPLINT_VALIDATE", "1")
+	db, err := predplace.Open(predplace.Config{Scale: 0.01, Tables: []int{1, 2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(20260807))
+	algos := []predplace.Algorithm{predplace.PushDown, predplace.Migration, predplace.PullRank}
+	for trial := 0; trial < 12; trial++ {
+		sql := genQuery(rng)
+		algo := algos[trial%len(algos)]
+		// Alternate serial and parallel executors: charged cost and rows are
+		// parallelism-invariant, so every invariant below must hold at both.
+		db.SetParallelism([]int{1, 4}[trial%2])
+		for _, caching := range []bool{false, true} {
+			db.SetCaching(caching)
+			db.SetTransfer(false)
+			off, err := db.Query(sql, algo)
+			if err != nil {
+				t.Fatalf("transfer off, %v on %q: %v", algo, sql, err)
+			}
+			db.SetTransfer(true)
+			on, err := db.Query(sql, algo)
+			if err != nil {
+				t.Fatalf("transfer on, %v on %q: %v", algo, sql, err)
+			}
+			// Invariant 1: identical result multisets.
+			refOff, refOn := canonRows(off), canonRows(on)
+			if len(refOff) != len(refOn) {
+				t.Fatalf("transfer changed row count %d -> %d (caching=%v)\nquery: %s",
+					len(refOff), len(refOn), caching, sql)
+			}
+			for k := range refOff {
+				if refOff[k] != refOn[k] {
+					t.Fatalf("transfer changed row %d (caching=%v)\nquery: %s", k, caching, sql)
+				}
+			}
+			// Invariant 2: transfer's overhead is exactly what it reports.
+			// Net of the prepass and probe charges, the transfer run never
+			// charges more than the plain one — pruning can only shrink the
+			// work downstream. Only comparable when both runs executed the
+			// same plan shape (transfer-adjusted estimates may reorder joins).
+			if planShape(off.Plan) == planShape(on.Plan) {
+				var overhead float64
+				if ts := on.Stats.Transfer; ts != nil {
+					overhead = ts.PrepassCharged + ts.ProbeCharge
+				}
+				if net := on.Stats.Charged() - overhead; net > off.Stats.Charged()+1e-6 {
+					t.Fatalf("transfer net charged %v exceeds plain %v (overhead %v, caching=%v)\nquery: %s",
+						net, off.Stats.Charged(), overhead, caching, sql)
+				}
+			}
+		}
+	}
+	db.SetTransfer(false)
+	db.SetCaching(false)
+}
+
 func TestEstimatesTrackMeasured(t *testing.T) {
 	// The cost model and the executor charge in the same units; on the
 	// benchmark queries the estimate should track the measurement closely
