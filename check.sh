@@ -60,4 +60,11 @@ echo "==> predicate-transfer gate (ppbench -transfer)"
 # transfer-on result set diverges from transfer-off.
 go run ./cmd/ppbench -transfer -workers 4 -iters 3 -json -scale 0.02
 
+echo "==> top-k gate (ppbench -topk)"
+# Runs ORDER BY ... LIMIT k queries with top-k execution off and on across
+# tuple/batched x serial/parallel configurations and k in {1,10,100,1000};
+# exits nonzero if any top-k-on result diverges row-for-row from top-k-off
+# or the ordered-index flagship at k=10 misses a 2x charged-cost reduction.
+go run ./cmd/ppbench -topk -workers 4 -iters 3 -json -scale 0.02
+
 echo "OK"

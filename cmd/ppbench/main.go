@@ -10,6 +10,7 @@
 //	ppbench -faults [-seeds N] [-workers N] [-json] [-scale 0.1]
 //	ppbench -profile [-iters N] [-json] [-scale 0.1]
 //	ppbench -transfer [-workers N] [-iters N] [-json] [-scale 0.1]
+//	ppbench -topk [-workers N] [-iters N] [-json] [-scale 0.1]
 //
 // Measurements are charged costs in random-I/O units (page I/Os plus
 // function invocations × per-call cost — the paper's methodology), reported
@@ -49,6 +50,15 @@
 // charged cost (filter builds and probes are charged — transfer is never
 // free), rows pruned, and filter false-positive rates. -json writes
 // BENCH_transfer.json.
+//
+// With -topk, ORDER BY … LIMIT k queries run with top-k execution off (full
+// facade sort) and on (bounded-heap TopK, or an early-terminating Limit over
+// an index-order scan when the ORDER BY key is a unique indexed column)
+// across tuple/batched × serial/parallel configurations and k ∈ {1, 10, 100,
+// 1000}. Top-k-on results must be row-for-row identical to top-k-off in
+// every configuration, and the ordered-index flagship at k=10 must cut the
+// charged cost at least 2× — the limit has to reach the scan, not just the
+// sort. -json writes BENCH_topk.json.
 package main
 
 import (
@@ -74,6 +84,7 @@ func main() {
 	faults := flag.Bool("faults", false, "run the fault/timeout sweep instead of the figures")
 	profile := flag.Bool("profile", false, "run the per-operator profiling bench instead of the figures")
 	transfer := flag.Bool("transfer", false, "run the predicate-transfer off-vs-on bench instead of the figures")
+	topk := flag.Bool("topk", false, "run the top-k-execution off-vs-on bench instead of the figures")
 	seeds := flag.Int("seeds", 3, "with -faults, fault sites tried per query")
 	workers := flag.Int("workers", 0, "parallel worker fan-out (0 = max(4, GOMAXPROCS))")
 	iters := flag.Int("iters", 1, "with -parallel/-batch, time each mode best-of-N runs")
@@ -97,6 +108,11 @@ func main() {
 
 	if *transfer {
 		runTransferBench(*scale, resolveWorkers(*workers), *iters, *jsonOut)
+		return
+	}
+
+	if *topk {
+		runTopKBench(*scale, resolveWorkers(*workers), *iters, *jsonOut)
 		return
 	}
 
@@ -323,6 +339,36 @@ func runTransferBench(scale float64, workers, iters int, jsonOut bool) {
 	}
 	if !bench.Pass {
 		fmt.Fprintln(os.Stderr, "ppbench: predicate transfer changed a result set")
+		os.Exit(1)
+	}
+}
+
+// runTopKBench executes the top-k-execution off-vs-on comparison and exits
+// nonzero when it changed any result set or missed the flagship reduction.
+func runTopKBench(scale float64, workers, iters int, jsonOut bool) {
+	fmt.Fprintf(os.Stderr, "building benchmark database at scale %.3f (%d workers, %d iters)…\n",
+		scale, workers, iters)
+	h, err := harness.NewParallel(scale, workers)
+	if err != nil {
+		fatal(err)
+	}
+	bench, err := h.RunTopKBench(workers, iters)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(bench)
+	if jsonOut {
+		data, err := bench.JSON()
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile("BENCH_topk.json", append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "wrote BENCH_topk.json")
+	}
+	if !bench.Pass {
+		fmt.Fprintln(os.Stderr, "ppbench: top-k execution changed a result set or missed the 2x flagship reduction")
 		os.Exit(1)
 	}
 }

@@ -5,6 +5,7 @@
 //	\algo pushdown|pullup|pullrank|migration|ldl|ldl-ikkbz|exhaustive|naive
 //	\caching on|off
 //	\transfer on|off
+//	\topk on|off
 //	\tables   \funcs   \help   \q
 //
 // Prefix a query with EXPLAIN to see its plan without running it, or with
@@ -27,10 +28,11 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-query wall-clock deadline (e.g. 5s; 0 = none)")
 	profile := flag.Bool("profile", false, "profile every query and print the per-operator tree as JSON")
 	transfer := flag.Bool("transfer", false, "start with predicate transfer (Bloom pre-filtering) enabled")
+	topk := flag.Bool("topk", false, "start with top-k execution (bounded-heap ORDER BY/LIMIT) enabled")
 	flag.Parse()
 
 	fmt.Fprintf(os.Stderr, "loading benchmark database at scale %.3f…\n", *scale)
-	db, err := predplace.Open(predplace.Config{Scale: *scale, Caching: *caching, Timeout: *timeout, Profile: *profile, Transfer: *transfer})
+	db, err := predplace.Open(predplace.Config{Scale: *scale, Caching: *caching, Timeout: *timeout, Profile: *profile, Transfer: *transfer, TopK: *topk})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ppsql:", err)
 		os.Exit(1)

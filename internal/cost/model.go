@@ -41,6 +41,11 @@ const (
 	// cache line eight times, a probe does the same read-only).
 	BloomAddPerTuple   = 0.002
 	BloomProbePerTuple = 0.001
+	// TopKCmpPerTuple prices one bounded-heap comparison round (offer a row
+	// against the current k-th boundary, sift on accept). CPU-only and tiny
+	// next to a page fetch, but nonzero so a TopK plan never looks free and
+	// the n·log₂(k+1) heap term can discriminate between candidate roots.
+	TopKCmpPerTuple = 0.001
 )
 
 // Model estimates cardinalities and costs over plan trees.
@@ -205,6 +210,39 @@ func (m *Model) annotate(n plan.Node) (streamInfo, error) {
 
 	case *plan.Join:
 		return m.annotateJoin(t)
+
+	case *plan.TopK:
+		in, err := m.annotate(t.Input)
+		if err != nil {
+			return streamInfo{}, err
+		}
+		// The heap consumes the whole input (n·log₂(k+1) comparisons) but
+		// releases at most k rows upstream — the post-LIMIT cardinality that
+		// gives pulled-up expensive predicates their ≤ k-invocations bound.
+		k := float64(t.K)
+		info := streamInfo{
+			card: math.Min(in.card, k),
+			cost: in.cost + in.card*math.Log2(k+1)*TopKCmpPerTuple,
+		}
+		t.EstCard, t.EstCost = info.card, info.cost
+		return info, nil
+
+	case *plan.Limit:
+		in, err := m.annotate(t.Input)
+		if err != nil {
+			return streamInfo{}, err
+		}
+		// Early termination: the limit stops pulling once k rows arrive, so
+		// under a uniform-production assumption only the k/card fraction of
+		// the input's work is ever paid. This is the one place estimated cost
+		// legitimately shrinks below the input's (plan.Validate sanctions it).
+		k := float64(t.K)
+		info := streamInfo{card: math.Min(in.card, k), cost: in.cost}
+		if in.card > k && in.card > 0 {
+			info.cost = in.cost * (k / in.card)
+		}
+		t.EstCard, t.EstCost = info.card, info.cost
+		return info, nil
 	}
 	return streamInfo{}, fmt.Errorf("cost: unknown node type %T", n)
 }

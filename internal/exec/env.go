@@ -103,6 +103,13 @@ type Env struct {
 	// transfer holds the prepass's filters and counters for the running
 	// query (nil when Transfer is off or the plan has no transferable join).
 	transfer *transferState
+	// buildSerial forces serial operators while building an ordered Limit's
+	// subtree: parallel scans and filters do not preserve row order, and the
+	// Limit's early termination is only correct on an order-preserving
+	// chain. Set and restored around the recursive child build (which runs
+	// single-threaded before execution starts; nested-loop runtime rebuilds
+	// only read it, and ordered chains contain no joins).
+	buildSerial bool
 
 	traceMu sync.Mutex
 	trace   map[plan.Node]*int64
@@ -160,6 +167,7 @@ func (e *Env) begin() error {
 	e.bloomAdds.Store(0)
 	e.bloomProbes.Store(0)
 	e.transfer = nil
+	e.buildSerial = false
 	e.trace = map[plan.Node]*int64{}
 	if e.Profile {
 		e.prof = map[plan.Node]*opCounters{}
@@ -274,9 +282,13 @@ type Stats struct {
 	// paper's §5.1 hash tables are per-query, so this is their peak size).
 	CacheEntries int
 	// Rows is the number of rows the executor produced. This is an executor
-	// measurement, not the size of the delivered result set: the SQL
-	// facade's LIMIT truncates Result.Rows after execution without touching
-	// this count, and COUNT(*) replaces it with the single aggregate row.
+	// measurement, not the size of the delivered result set: with top-k
+	// planning off, the SQL facade's LIMIT truncates Result.Rows after
+	// execution without touching this count (Rows is the full pre-LIMIT
+	// cardinality), while with a TopK/Limit plan root the executor itself
+	// stops at the LIMIT bound and Rows is that post-limit count (≤ k) —
+	// fewer rows were genuinely produced, which is the point of early
+	// termination. COUNT(*) replaces it with the single aggregate row.
 	Rows int
 	// Transfer summarizes the predicate-transfer stage (nil unless
 	// Env.Transfer was on and the plan had a transferable join).

@@ -42,7 +42,7 @@ func Build(e *Env, n plan.Node) (Iterator, error) {
 func build(e *Env, n plan.Node) (Iterator, error) {
 	switch t := n.(type) {
 	case *plan.SeqScan:
-		if e.workers() > 1 {
+		if e.workers() > 1 && !e.buildSerial {
 			return newParallelSeqScan(e, t)
 		}
 		return newSeqScan(e, t)
@@ -60,12 +60,16 @@ func build(e *Env, n plan.Node) (Iterator, error) {
 		if e.prof != nil {
 			cp.prof = e.nodeProf(t)
 		}
-		if e.workers() > 1 && t.Pred.IsExpensive() {
+		if e.workers() > 1 && !e.buildSerial && t.Pred.IsExpensive() {
 			return newParallelFilter(e, in, cp), nil
 		}
 		return &filterIter{e: e, in: in, pred: cp}, nil
 	case *plan.Join:
 		return buildJoin(e, t)
+	case *plan.TopK:
+		return newTopK(e, t)
+	case *plan.Limit:
+		return newLimit(e, t)
 	}
 	return nil, fmt.Errorf("exec: unknown plan node %T", n)
 }

@@ -42,6 +42,11 @@ type opCounters struct {
 	// predicate-transfer counters, fed by the scan's filter probes
 	transferProbes atomic.Int64
 	transferPruned atomic.Int64
+	// top-k counters: heap admissions/evictions for TopK, input short-
+	// circuits (the child was cut off with rows still unproduced) for Limit
+	heapPushed   atomic.Int64
+	heapEvicted  atomic.Int64
+	shortCircuit atomic.Int64
 	// funcCharge holds the float64 bits of Σ invocations × per-call cost
 	// attributed to this node (CAS-accumulated).
 	funcCharge atomic.Uint64
@@ -196,6 +201,13 @@ type OpProfile struct {
 	// probes and the rows they rejected (predicate transfer only).
 	TransferProbes int64 `json:"transfer_probes,omitempty"`
 	TransferPruned int64 `json:"transfer_pruned,omitempty"`
+	// HeapPushed and HeapEvicted count a TopK node's bounded-heap admissions
+	// and displacements (pushed − evicted = rows retained at the end).
+	HeapPushed  int64 `json:"heap_pushed,omitempty"`
+	HeapEvicted int64 `json:"heap_evicted,omitempty"`
+	// ShortCircuit is 1 when a Limit node stopped pulling with its child
+	// still producing — the early termination actually cut work off.
+	ShortCircuit int64 `json:"short_circuit,omitempty"`
 	// Children mirror the plan node's inputs (outer first for joins).
 	Children []*OpProfile `json:"children,omitempty"`
 }
@@ -258,6 +270,9 @@ func assembleProfile(e *Env, n plan.Node) *OpProfile {
 		FuncCharge:     c.charge(),
 		TransferProbes: c.transferProbes.Load(),
 		TransferPruned: c.transferPruned.Load(),
+		HeapPushed:     c.heapPushed.Load(),
+		HeapEvicted:    c.heapEvicted.Load(),
+		ShortCircuit:   c.shortCircuit.Load(),
 	}
 	for _, child := range n.Children() {
 		cp := assembleProfile(e, child)

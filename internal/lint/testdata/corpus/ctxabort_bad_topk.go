@@ -1,0 +1,42 @@
+//corpus:path example.com/internal/exec
+
+// Package corpus15 seeds ctxabort violations in top-k shapes: the bounded
+// heap's fill loop charging per admitted row and the limit's drain loop
+// charging per pulled row, neither with a reachable abort check — exactly
+// the loops that would keep a canceled ORDER BY/LIMIT query consuming its
+// whole input. Fixed twins live in ctxabort_good_topk.go.
+package corpus15
+
+type env struct{ aborted bool }
+
+func (e *env) ChargeHeapPush(n int) {}
+func (e *env) ChargeRow(n int)      {}
+func (e *env) checkAbort() error    { return nil }
+
+// fillHeap drains the whole input into the bounded heap, charging each
+// admission inside the loop without ever consulting the abort check.
+func (e *env) fillHeap(keys []int64, k int) []int64 {
+	heap := make([]int64, 0, k)
+	for _, key := range keys { // want "without a reachable checkAbort"
+		if len(heap) < k {
+			heap = append(heap, key)
+		}
+		e.ChargeHeapPush(1)
+	}
+	return heap
+}
+
+// drainLimit pulls rows until the limit is met, charging per row; a
+// canceled query keeps pulling until k rows arrive no matter how sparse the
+// survivors are.
+func (e *env) drainLimit(rows []int64, k int) int {
+	seen := 0
+	for range rows { // want "without a reachable checkAbort"
+		e.ChargeRow(1)
+		seen++
+		if seen >= k {
+			break
+		}
+	}
+	return seen
+}

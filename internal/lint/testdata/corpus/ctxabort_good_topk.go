@@ -1,0 +1,47 @@
+//corpus:path example.com/internal/exec
+
+// Package corpus16 holds the fixed twins of ctxabort_bad_topk.go: the
+// executor's two sanctioned shapes for top-k loops — count admissions
+// locally and charge once after the fill, or keep the per-row charge with
+// the abort check on the loop's own cadence. Both are silent.
+package corpus16
+
+type env struct{ aborted bool }
+
+func (e *env) ChargeHeapPush(n int) {}
+func (e *env) ChargeRow(n int)      {}
+func (e *env) checkAbort() error    { return nil }
+
+// fillHeap accumulates the admissions in a local and charges once after the
+// loop — the loop body contains no charge at all.
+func (e *env) fillHeap(keys []int64, k int) []int64 {
+	heap := make([]int64, 0, k)
+	pushed := 0
+	for _, key := range keys {
+		if len(heap) < k {
+			heap = append(heap, key)
+			pushed++
+		}
+	}
+	e.ChargeHeapPush(pushed)
+	return heap
+}
+
+// drainLimit keeps the per-row charge but observes the abort check on the
+// drain's own cadence, so cancellation interrupts a sparse-survivor scan.
+func (e *env) drainLimit(rows []int64, k int) (int, error) {
+	seen := 0
+	for i := range rows {
+		if i%1024 == 0 {
+			if err := e.checkAbort(); err != nil {
+				return seen, err
+			}
+		}
+		e.ChargeRow(1)
+		seen++
+		if seen >= k {
+			break
+		}
+	}
+	return seen, nil
+}

@@ -1,0 +1,29 @@
+//corpus:path example.com/internal/exec
+
+// Package corpus17 seeds profileclean violations in top-k shapes: a
+// bounded-heap iterator that allocates its heap storage and emission
+// scratch inside Next/NextBatch on every call, regressing the hot path's
+// allocation-free contract. Fixed twins live in profileclean_good_topk.go.
+package corpus17
+
+type row []int64
+
+type heapIter struct {
+	heap []row
+	out  []row
+	pos  int
+}
+
+// Next rebuilds the heap backing per row — per-call garbage on the default
+// path.
+func (h *heapIter) Next() (row, bool, error) {
+	h.heap = make([]row, 0, 64) // want "allocates on every call"
+	h.pos++
+	return nil, false, nil
+}
+
+// NextBatch rebuilds the emission scratch as a literal on every batch.
+func (h *heapIter) NextBatch(dst []row) (int, error) {
+	h.out = []row{} // want "allocates on every call"
+	return 0, nil
+}

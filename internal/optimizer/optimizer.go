@@ -97,6 +97,13 @@ type Options struct {
 	// selectivities and probe/build work is charged, so placement and join
 	// ordering are decided under transfer-adjusted estimates.
 	Transfer bool
+	// TopK, when non-nil, asks the optimizer to plan the query's ORDER BY +
+	// LIMIT instead of leaving them to the facade: the chosen plan is wrapped
+	// in a bounded-heap TopK root — or an early-terminating Limit when a
+	// retained plan already delivers rows in the ORDER BY order — and the
+	// cost model's post-LIMIT cardinalities price the ≤ k-invocations pullup
+	// incentive for predicates above the top-k boundary.
+	TopK *TopKSpec
 }
 
 // Info reports planning diagnostics.
@@ -117,6 +124,10 @@ type Info struct {
 	// TransferPrepassCost is the estimated prepass cost included in EstCost.
 	TransferClasses     int
 	TransferPrepassCost float64
+	// TopKKind reports the planned top-k root: "topk" (bounded heap over the
+	// full input), "limit" (order-satisfying early termination), or ""
+	// (top-k planning off or inapplicable).
+	TopKKind string
 	// Elapsed is the planning wall time.
 	Elapsed time.Duration
 }
@@ -181,6 +192,20 @@ func (o *Optimizer) Plan(q *query.Query) (plan.Node, *Info, error) {
 	}
 	if err != nil {
 		return nil, nil, err
+	}
+	if o.opts.TopK != nil {
+		switch root.(type) {
+		case *plan.TopK, *plan.Limit:
+			// planSystemR's finalize already chose and wrapped the root.
+		default:
+			// The LDL and exhaustive planners pick their root by unwrapped
+			// cost; wrap it here so every algorithm executes ORDER BY + LIMIT
+			// inside the plan when top-k planning is on.
+			root, err = o.chooseTopK([]plan.Node{root}, info)
+			if err != nil {
+				return nil, nil, err
+			}
+		}
 	}
 	info.Algorithm = o.opts.Algorithm
 	info.Elapsed = time.Since(start)

@@ -46,9 +46,15 @@ func (o *Optimizer) planSystemR(q *query.Query) (plan.Node, *Info, error) {
 	}
 
 	if n == 1 {
-		bestPlan := cheapest(base[0])
 		info.PlansRetained = len(base[0])
-		root, err := o.finalize(q, []*subplan{bestPlan}, info)
+		finalists := []*subplan{cheapest(base[0])}
+		if o.opts.TopK != nil {
+			// Keep every access path alive for finalize: a full index scan
+			// on the ORDER BY key loses on unwrapped cost but can win once
+			// an early-terminating Limit prices it.
+			finalists = base[0]
+		}
+		root, err := o.finalize(q, finalists, info)
 		return root, info, err
 	}
 
@@ -91,27 +97,49 @@ func (o *Optimizer) planSystemR(q *query.Query) (plan.Node, *Info, error) {
 }
 
 // finalize applies the Predicate Migration post-pass (when selected) to every
-// retained final plan and returns the cheapest.
+// retained final plan and returns the cheapest. With top-k planning on, it is
+// also the wrap site: wrapping happens after migration (Flatten cannot stream
+// a TopK/Limit root), with the baseline best plan first so ties keep the plan
+// the facade sort would have executed, and other finalists considered only
+// when their output order satisfies the ORDER BY.
 func (o *Optimizer) finalize(q *query.Query, finalists []*subplan, info *Info) (plan.Node, error) {
 	if len(finalists) == 0 {
 		return nil, fmt.Errorf("optimizer: no plan found")
 	}
+	var roots []plan.Node
+	var baseline plan.Node
 	if o.opts.Algorithm != Migration {
-		return cheapest(finalists).root, nil
-	}
-	var best plan.Node
-	bestCost := math.Inf(1)
-	for _, sp := range finalists {
-		migrated, passes, err := o.migrate(sp.root)
-		if err != nil {
-			return nil, err
+		baseline = cheapest(finalists).root
+		if o.opts.TopK == nil {
+			return baseline, nil
 		}
-		info.MigrationPasses += passes
-		if migrated.Cost() < bestCost {
-			best, bestCost = migrated, migrated.Cost()
+		for _, sp := range finalists {
+			roots = append(roots, sp.root)
+		}
+	} else {
+		bestCost := math.Inf(1)
+		for _, sp := range finalists {
+			migrated, passes, err := o.migrate(sp.root)
+			if err != nil {
+				return nil, err
+			}
+			info.MigrationPasses += passes
+			roots = append(roots, migrated)
+			if migrated.Cost() < bestCost {
+				baseline, bestCost = migrated, migrated.Cost()
+			}
+		}
+		if o.opts.TopK == nil {
+			return baseline, nil
 		}
 	}
-	return best, nil
+	cands := []plan.Node{baseline}
+	for _, r := range roots {
+		if r != baseline && o.orderSatisfied(r) {
+			cands = append(cands, r)
+		}
+	}
+	return o.chooseTopK(cands, info)
 }
 
 func cheapest(sps []*subplan) *subplan {
@@ -266,6 +294,19 @@ func (o *Optimizer) accessPathsPlace(q *query.Query, i int, withExpensive bool) 
 			}
 		}
 		sp, err := build(is, order, rest)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sp)
+	}
+	// Top-k order propagation: a full ascending index scan on the ORDER BY
+	// key delivers rows in query order with no sort node. On its own it loses
+	// to a SeqScan (a random fetch per tuple), but under an ordered Limit
+	// only the first k survivors' fetches are ever paid — finalize prices
+	// that when it wraps the retained roots.
+	if spec := o.opts.TopK; spec != nil && !spec.Desc && spec.Key.Table == t && tab.HasIndex(spec.Key.Col) {
+		is := &plan.IndexScan{Table: t, Col: spec.Key.Col, ColRefs: cols}
+		sp, err := build(is, spec.Key, cheap)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,94 @@
+package plan
+
+// Top-k plan operators. Both are root-only: the optimizer wraps a finished
+// plan with exactly one of them when the query carries ORDER BY + LIMIT and
+// top-k planning is enabled, so ORDER BY/LIMIT run inside the executor
+// instead of as a facade post-pass over the full pre-LIMIT result.
+
+import (
+	"fmt"
+	"strings"
+
+	"predplace/internal/query"
+)
+
+// TopK keeps the K first rows of its input under (Key, Tie) ordering using a
+// bounded heap — the input is consumed completely, but only K rows are ever
+// held (n·log k comparisons instead of an n·log n full sort) and only K rows
+// flow upstream. Output is sorted: Key ascending (descending when Desc),
+// ties broken by the Tie columns ascending.
+type TopK struct {
+	Input Node
+	// K is the LIMIT bound (≥ 1).
+	K int64
+	// Key is the ORDER BY column; Desc flips its direction.
+	Key  query.ColRef
+	Desc bool
+	// Tie lists the tie-break columns (the projected output columns, in
+	// projection order): rows equal on Key and every Tie column are
+	// identical after projection, which is what makes the operator's choice
+	// among such rows invisible in the delivered result.
+	Tie     []query.ColRef
+	EstCard float64
+	EstCost float64
+}
+
+// Cols implements Node.
+func (t *TopK) Cols() []query.ColRef { return t.Input.Cols() }
+
+// Children implements Node.
+func (t *TopK) Children() []Node { return []Node{t.Input} }
+
+// Card implements Node.
+func (t *TopK) Card() float64 { return t.EstCard }
+
+// Cost implements Node.
+func (t *TopK) Cost() float64 { return t.EstCost }
+
+// Describe implements Node.
+func (t *TopK) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "TopK %d by %s", t.K, t.Key)
+	if t.Desc {
+		b.WriteString(" desc")
+	}
+	return b.String()
+}
+
+// Limit passes through the first K rows of its input and stops pulling — the
+// subtree beneath it never produces the rows the limit cuts off, so their
+// page fetches and predicate invocations are never paid. Planned only when
+// the input already arrives in the query's ORDER BY order (Ordered): an
+// ascending index scan on a unique ORDER BY key, possibly under filters.
+type Limit struct {
+	Input Node
+	// K is the LIMIT bound (≥ 1).
+	K int64
+	// Ordered marks that the input's order satisfies the query's ORDER BY;
+	// the executor keeps the subtree serial so the order survives execution.
+	Ordered bool
+	// Key is the ORDER BY column the input's order satisfies.
+	Key     query.ColRef
+	EstCard float64
+	EstCost float64
+}
+
+// Cols implements Node.
+func (l *Limit) Cols() []query.ColRef { return l.Input.Cols() }
+
+// Children implements Node.
+func (l *Limit) Children() []Node { return []Node{l.Input} }
+
+// Card implements Node.
+func (l *Limit) Card() float64 { return l.EstCard }
+
+// Cost implements Node.
+func (l *Limit) Cost() float64 { return l.EstCost }
+
+// Describe implements Node.
+func (l *Limit) Describe() string {
+	if l.Ordered {
+		return fmt.Sprintf("Limit %d (index order %s)", l.K, l.Key)
+	}
+	return fmt.Sprintf("Limit %d", l.K)
+}

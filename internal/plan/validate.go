@@ -29,6 +29,12 @@ const validateTol = 1e-9
 //   - a Join's output columns are exactly outer-then-inner concatenation;
 //   - nested-loop joins have a (filtered) base table inner, and
 //     IndexNestLoop additionally an index column and an equality primary;
+//   - TopK/Limit appear only as the plan root, with K ≥ 1, order/tie columns
+//     bound by the input schema, and output cardinality at most min(input, K).
+//     A TopK costs at least its input (the heap adds comparisons); a Limit
+//     is the one sanctioned break in cost cumulativity — early termination
+//     means the subtree below it is only partially paid, so its cost may be
+//     anywhere in (0, input];
 //   - no predicate is applied twice on any root-to-leaf path. The one
 //     sanctioned repeat: an IndexNestLoop's primary also appears as the
 //     inner index scan's matched predicate — that is the probe itself, and
@@ -101,6 +107,63 @@ func validate(n Node, path string, applied map[*query.Predicate]bool) error {
 
 	case *Join:
 		return validateJoin(t, path, applied)
+
+	case *TopK:
+		if path != "root" {
+			return fmt.Errorf("plan: %s: TopK below the plan root", path)
+		}
+		if t.Input == nil {
+			return fmt.Errorf("plan: %s: TopK has nil input", path)
+		}
+		if t.K < 1 {
+			return fmt.Errorf("plan: %s: TopK with k=%d", path, t.K)
+		}
+		if err := checkColBound(t.Key, t.Input.Cols(), path, "TopK key"); err != nil {
+			return err
+		}
+		for _, ref := range t.Tie {
+			if err := checkColBound(ref, t.Input.Cols(), path, "TopK tie column"); err != nil {
+				return err
+			}
+		}
+		if limit := math.Min(t.Input.Card(), float64(t.K)); t.Card() > limit*(1+validateTol)+validateTol {
+			return fmt.Errorf("plan: %s: TopK outputs %.3f tuples, at most min(input=%.3f, k=%d) allowed",
+				path, t.Card(), t.Input.Card(), t.K)
+		}
+		if t.Cost()+validateTol < t.Input.Cost() {
+			return fmt.Errorf("plan: %s: TopK cost %.3f below its input's %.3f (the heap consumes the whole input)",
+				path, t.Cost(), t.Input.Cost())
+		}
+		return validate(t.Input, path+"/input", applied)
+
+	case *Limit:
+		if path != "root" {
+			return fmt.Errorf("plan: %s: Limit below the plan root", path)
+		}
+		if t.Input == nil {
+			return fmt.Errorf("plan: %s: Limit has nil input", path)
+		}
+		if t.K < 1 {
+			return fmt.Errorf("plan: %s: Limit with k=%d", path, t.K)
+		}
+		if t.Ordered {
+			if err := checkColBound(t.Key, t.Input.Cols(), path, "Limit order key"); err != nil {
+				return err
+			}
+		}
+		if limit := math.Min(t.Input.Card(), float64(t.K)); t.Card() > limit*(1+validateTol)+validateTol {
+			return fmt.Errorf("plan: %s: Limit outputs %.3f tuples, at most min(input=%.3f, k=%d) allowed",
+				path, t.Card(), t.Input.Card(), t.K)
+		}
+		// Early termination: the sanctioned exception to cost cumulativity.
+		// The limit stops pulling after K rows, so the subtree below it is
+		// only partially executed — its estimated cost may be below the
+		// input's, but never above it.
+		if t.Cost() > t.Input.Cost()*(1+validateTol)+validateTol {
+			return fmt.Errorf("plan: %s: Limit cost %.3f above its input's %.3f (a limit never adds work)",
+				path, t.Cost(), t.Input.Cost())
+		}
+		return validate(t.Input, path+"/input", applied)
 	}
 	return fmt.Errorf("plan: %s: unknown node type %T", path, n)
 }
@@ -245,6 +308,16 @@ func checkBound(p *query.Predicate, schema []query.ColRef, path string) error {
 		}
 	}
 	return nil
+}
+
+// checkColBound requires one column reference to be present in a schema.
+func checkColBound(ref query.ColRef, schema []query.ColRef, path, what string) error {
+	for _, c := range schema {
+		if c == ref {
+			return nil
+		}
+	}
+	return fmt.Errorf("plan: %s: %s %s not produced below it", path, what, ref)
 }
 
 // predCols lists the columns a predicate reads.

@@ -73,6 +73,10 @@ func (s *Session) Execute(line string, w io.Writer) bool {
 		on := strings.HasSuffix(line, "on")
 		s.DB.SetTransfer(on)
 		say(w, "predicate transfer:", on)
+	case strings.HasPrefix(line, `\topk`):
+		on := strings.HasSuffix(line, "on")
+		s.DB.SetTopK(on)
+		say(w, "top-k execution:", on)
 	case line == `\tables`:
 		s.cmdTables(w)
 	case strings.HasPrefix(line, `\save `):
@@ -117,6 +121,7 @@ func (s *Session) cmdHelp(w io.Writer) {
   \algo <name>      switch placement algorithm
   \caching on|off   toggle predicate caching
   \transfer on|off  toggle predicate transfer (Bloom pre-filtering)
+  \topk on|off      toggle top-k execution (bounded-heap ORDER BY/LIMIT)
   \tables           list relations
   \funcs            list registered functions
   \save <path>      snapshot the database to a file

@@ -121,6 +121,16 @@ type Config struct {
 	// cardinalities. Off by default — every figure reproduction runs without
 	// it.
 	Transfer bool
+	// TopK enables top-k-aware execution: a query with ORDER BY and LIMIT
+	// plans a bounded-heap TopK root (n·log k comparisons, only k rows flow
+	// upstream) — or, when an ascending index scan on a unique ORDER BY key
+	// already delivers the order, an early-terminating Limit that stops
+	// pulling after k rows, so the pages and predicate invocations the limit
+	// cuts off are never paid. Results are identical with it on or off
+	// (equal-key ties break on the full projected row either way); charged
+	// cost can only shrink. Off by default — byte-identical planning and
+	// execution, with ORDER BY/LIMIT applied in the facade as before.
+	TopK bool
 }
 
 // DB is an open database handle. Handles are safe for sequential use; run
@@ -136,6 +146,7 @@ type DB struct {
 	timeout     time.Duration
 	profile     bool
 	transfer    bool
+	topk        bool
 	subSeq      atomic.Int64
 }
 
@@ -173,7 +184,7 @@ func Open(cfg Config) (*DB, error) {
 		inner: inner, caching: cfg.Caching, cacheScope: pcacheScope(cfg),
 		cacheMax: cfg.CacheMaxEntries, budget: cfg.Budget,
 		parallelism: workers, batchSize: cfg.BatchSize, timeout: cfg.Timeout,
-		profile: cfg.Profile, transfer: cfg.Transfer,
+		profile: cfg.Profile, transfer: cfg.Transfer, topk: cfg.TopK,
 	}, nil
 }
 
@@ -261,6 +272,14 @@ func (d *DB) SetTransfer(on bool) { d.transfer = on }
 
 // Transfer reports whether predicate transfer is currently enabled.
 func (d *DB) Transfer() bool { return d.transfer }
+
+// SetTopK toggles top-k-aware execution for subsequent queries (see
+// Config.TopK). Top-k planning never changes results — only how much of the
+// pre-LIMIT input is materialized, sorted, and paid for.
+func (d *DB) SetTopK(on bool) { d.topk = on }
+
+// TopK reports whether top-k-aware execution is currently enabled.
+func (d *DB) TopK() bool { return d.topk }
 
 // FaultConfig configures the deterministic storage fault injector; see
 // SetFaults.
@@ -448,16 +467,21 @@ type OpProfile = exec.OpProfile
 type Result struct {
 	// Cols names the output columns.
 	Cols []string
-	// Rows holds the output (nil for EXPLAIN or DNF). LIMIT truncates this
-	// slice only: Stats.Rows keeps the executor's pre-LIMIT row count (the
-	// measurement), so len(Rows) ≤ Stats.Rows under a LIMIT.
+	// Rows holds the output (nil for EXPLAIN or DNF). With top-k execution
+	// off (the default), LIMIT truncates this slice only: Stats.Rows keeps
+	// the executor's pre-LIMIT row count (the measurement), so len(Rows) ≤
+	// Stats.Rows under a LIMIT. With Config.TopK on and a TopK/Limit plan
+	// root, the executor itself stops at the limit and Stats.Rows is the
+	// post-limit count — see Stats.Rows.
 	Rows [][]Value
 	// Plan is the chosen plan rendered as a tree.
 	Plan string
 	// EstCost is the optimizer's estimate for the chosen plan.
 	EstCost float64
 	// Stats reports execution resource usage (zero for EXPLAIN). Stats.Rows
-	// counts rows the executor produced, before any LIMIT truncation.
+	// counts rows the executor produced: the full pre-LIMIT cardinality
+	// with top-k execution off, the ≤ LIMIT post-limit count when a
+	// TopK/Limit plan root terminated early.
 	Stats Stats
 	// Info reports planning diagnostics.
 	Info PlanInfo
@@ -522,22 +546,46 @@ func (d *DB) QueryContext(ctx context.Context, sql string, algo Algorithm) (*Res
 		return res, nil
 	}
 	res.Cols, res.Rows = project(root, bound, out)
-	if err := finishResult(bound, res); err != nil {
+	if err := finishResult(bound, res, planHasTopK(root)); err != nil {
 		return nil, err
 	}
 	return res, nil
+}
+
+// planHasTopK reports whether the plan root already applies the query's
+// ORDER BY and LIMIT (top-k planning wrapped it), so finishResult must not
+// re-sort or re-truncate.
+func planHasTopK(root plan.Node) bool {
+	switch root.(type) {
+	case *plan.TopK, *plan.Limit:
+		return true
+	}
+	return false
 }
 
 // analyzedPlan renders the EXPLAIN ANALYZE tree: each node carries the
 // optimizer's row estimate, the measured row count, and the estimation-error
 // factor; a summary line totals the profile underneath.
 func analyzedPlan(root plan.Node, out *exec.Result) string {
+	topkProf := map[plan.Node]*exec.OpProfile{}
+	if out.Profile != nil {
+		zipTopKProfile(root, out.Profile, topkProf)
+	}
 	rendered := plan.RenderWith(root, func(n plan.Node) string {
 		rows, ok := out.NodeRows[n]
 		if !ok {
 			return " actual=n/a"
 		}
-		return fmt.Sprintf(" est=%.0f actual=%d (%s)", n.Card(), rows, errFactorString(n.Card(), rows))
+		s := fmt.Sprintf(" est=%.0f actual=%d (%s)", n.Card(), rows, errFactorString(n.Card(), rows))
+		if p := topkProf[n]; p != nil {
+			if p.HeapPushed > 0 || p.HeapEvicted > 0 {
+				s += fmt.Sprintf(" heap(pushed=%d evicted=%d)", p.HeapPushed, p.HeapEvicted)
+			}
+			if p.ShortCircuit > 0 {
+				s += " short-circuit"
+			}
+		}
+		return s
 	})
 	if out.Profile != nil {
 		rendered += profileSummary(out.Profile)
@@ -546,6 +594,27 @@ func analyzedPlan(root plan.Node, out *exec.Result) string {
 		rendered += transferSummary(t)
 	}
 	return rendered
+}
+
+// zipTopKProfile pairs the plan's TopK/Limit nodes with their OpProfile
+// entries by walking the two trees in lockstep (the profile tree mirrors the
+// plan node for node), so EXPLAIN ANALYZE can annotate heap traffic and
+// short-circuits on the right lines.
+func zipTopKProfile(n plan.Node, p *exec.OpProfile, m map[plan.Node]*exec.OpProfile) {
+	if p == nil {
+		return
+	}
+	switch n.(type) {
+	case *plan.TopK, *plan.Limit:
+		m[n] = p
+	}
+	children := n.Children()
+	if len(children) != len(p.Children) {
+		return
+	}
+	for i, c := range children {
+		zipTopKProfile(c, p.Children[i], m)
+	}
 }
 
 // transferSummary is the predicate-transfer line under an EXPLAIN ANALYZE
@@ -605,12 +674,18 @@ func maxErrString(f float64) string {
 // is an in-memory sort. An ORDER BY column that is not among the projected
 // output columns is an error: silently returning unsorted rows — or sorting
 // by a column position taken from the un-projected plan row layout — is a
-// wrong answer, not a degraded one.
-func finishResult(bound *sqlparse.Bound, res *Result) error {
+// wrong answer, not a degraded one. With topkPlanned set, the plan root
+// already emitted the ORDER BY's first LIMIT rows in order (and top-k
+// planning only engages when the ORDER BY column is projected), so the
+// facade passes the rows through untouched.
+func finishResult(bound *sqlparse.Bound, res *Result, topkPlanned bool) error {
 	if bound.CountStar {
 		res.Cols = []string{"count"}
 		res.Rows = [][]Value{{Int(int64(res.Stats.Rows))}}
 		res.Stats.Rows = 1 // one aggregate row is the result
+		return nil
+	}
+	if topkPlanned {
 		return nil
 	}
 	if bound.OrderBy != nil {
@@ -624,11 +699,24 @@ func finishResult(bound *sqlparse.Bound, res *Result) error {
 			return fmt.Errorf("predplace: ORDER BY column %s is not in the select list", bound.OrderBy)
 		}
 		sort.SliceStable(res.Rows, func(a, b int) bool {
-			c := res.Rows[a][idx].Compare(res.Rows[b][idx])
-			if bound.Desc {
-				return c > 0
+			ra, rb := res.Rows[a], res.Rows[b]
+			if c := ra[idx].Compare(rb[idx]); c != 0 {
+				if bound.Desc {
+					return c > 0
+				}
+				return c < 0
 			}
-			return c < 0
+			// Deterministic tie-break: equal keys order by the full projected
+			// row, ascending regardless of Desc. Parallel operators do not
+			// preserve input order, and a bare stable sort would expose their
+			// arrival order in the result — equal-key rows must compare the
+			// same way on every run, in every executor mode.
+			for i := range ra {
+				if c := ra[i].Compare(rb[i]); c != 0 {
+					return c < 0
+				}
+			}
+			return false
 		})
 	}
 	if bound.Limit >= 0 && int64(len(res.Rows)) > bound.Limit {
@@ -681,7 +769,10 @@ func (d *DB) plan(sql string, algo Algorithm) (plan.Node, *sqlparse.Bound, *opti
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	opt := optimizer.New(d.inner.Cat, optimizer.Options{Algorithm: algo, Caching: d.caching, Transfer: d.transfer})
+	opt := optimizer.New(d.inner.Cat, optimizer.Options{
+		Algorithm: algo, Caching: d.caching, Transfer: d.transfer,
+		TopK: d.topkSpec(bound),
+	})
 	root, info, err := opt.Plan(bound.Query)
 	if err != nil {
 		return nil, nil, nil, err
@@ -695,6 +786,35 @@ func (d *DB) plan(sql string, algo Algorithm) (plan.Node, *sqlparse.Bound, *opti
 		}
 	}
 	return root, bound, info, nil
+}
+
+// topkSpec lifts a bound ORDER BY + LIMIT into the optimizer's top-k
+// specification. Nil — leaving ORDER BY/LIMIT to the facade exactly as with
+// TopK off — when the knob is off, the query has no ORDER BY or no positive
+// LIMIT, it is a COUNT(*) (the aggregate consumes every row; nothing to
+// bound), or the ORDER BY column is not among the projected columns (the
+// facade rejects that query, and the rejection must survive the knob).
+func (d *DB) topkSpec(bound *sqlparse.Bound) *optimizer.TopKSpec {
+	if !d.topk || bound.CountStar || bound.OrderBy == nil || bound.Limit < 1 {
+		return nil
+	}
+	spec := &optimizer.TopKSpec{Key: *bound.OrderBy, Desc: bound.Desc, K: bound.Limit}
+	if !bound.Star && len(bound.Projection) > 0 {
+		found := false
+		for _, ref := range bound.Projection {
+			if ref == *bound.OrderBy {
+				found = true
+			}
+		}
+		if !found {
+			return nil
+		}
+		// Tie-break on the projected columns in projection order: the heap's
+		// comparator then matches the facade sort's, and rows it cannot
+		// distinguish are identical after projection.
+		spec.Tie = bound.Projection
+	}
+	return spec
 }
 
 // project applies the SELECT list to executor output.

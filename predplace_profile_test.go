@@ -196,11 +196,14 @@ func TestOrderByUnprojectedColumn(t *testing.T) {
 	}
 }
 
-// TestStatsRowsPreLimit pins the documented contract: Stats.Rows is the
-// executor's pre-LIMIT count; LIMIT truncates only Result.Rows.
+// TestStatsRowsPreLimit pins the documented contract: with top-k execution
+// off, Stats.Rows is the executor's pre-LIMIT count and LIMIT truncates only
+// Result.Rows; with TopK on, the plan root is a TopK/Limit operator, so
+// Stats.Rows counts what the root actually emitted — at most LIMIT rows.
 func TestStatsRowsPreLimit(t *testing.T) {
 	db := openBench(t, 1)
-	res, err := db.Query("SELECT * FROM t1 WHERE t1.ua1 < 20 ORDER BY t1.ua1 LIMIT 5", PushDown)
+	const sql = "SELECT * FROM t1 WHERE t1.ua1 < 20 ORDER BY t1.ua1 LIMIT 5"
+	res, err := db.Query(sql, PushDown)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,5 +212,21 @@ func TestStatsRowsPreLimit(t *testing.T) {
 	}
 	if res.Stats.Rows != 20 {
 		t.Fatalf("Stats.Rows = %d, want pre-LIMIT 20", res.Stats.Rows)
+	}
+
+	db.SetTopK(true)
+	defer db.SetTopK(false)
+	on, err := db.Query(sql, PushDown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(on.Rows) != 5 {
+		t.Fatalf("LIMIT not applied with TopK on: %d rows", len(on.Rows))
+	}
+	if on.Stats.Rows != 5 {
+		t.Fatalf("TopK on: Stats.Rows = %d, want post-limit 5", on.Stats.Rows)
+	}
+	if got, want := canonRows(on), canonRows(res); strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Fatalf("rows diverge across modes:\n%v\nvs\n%v", got, want)
 	}
 }
