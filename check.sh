@@ -67,4 +67,14 @@ echo "==> top-k gate (ppbench -topk)"
 # or the ordered-index flagship at k=10 misses a 2x charged-cost reduction.
 go run ./cmd/ppbench -topk -workers 4 -iters 3 -json -scale 0.02
 
+echo "==> multi-session server gate (ppbench -server)"
+# Runs the figure queries from 1/2/4/8 concurrent sessions against one DB
+# behind the admission-controlled server, plus a shed probe (burst against a
+# single slot with no queue) and a tenant-quota probe (DNF at the boundary,
+# then rejection); exits nonzero if any concurrent result diverges from the
+# serial baseline in rows or charged cost, the plan cache never hits, a shed
+# query errors with anything but ErrOverloaded, or the quota sequence is
+# wrong.
+go run ./cmd/ppbench -server -sessions 1,2,4,8 -iters 3 -json -scale 0.02
+
 echo "OK"

@@ -11,6 +11,7 @@
 //	ppbench -profile [-iters N] [-json] [-scale 0.1]
 //	ppbench -transfer [-workers N] [-iters N] [-json] [-scale 0.1]
 //	ppbench -topk [-workers N] [-iters N] [-json] [-scale 0.1]
+//	ppbench -server [-sessions 1,2,4,8] [-iters N] [-json] [-scale 0.1]
 //
 // Measurements are charged costs in random-I/O units (page I/Os plus
 // function invocations × per-call cost — the paper's methodology), reported
@@ -51,6 +52,15 @@
 // free), rows pruned, and filter false-positive rates. -json writes
 // BENCH_transfer.json.
 //
+// With -server, Queries 1–5 run through predplace.Server from each listed
+// session count's worth of concurrent client goroutines (-iters queries per
+// session), comparing every result's rows and charged cost against the
+// single-session baseline, reporting throughput, tail latency, and the plan
+// cache's hit ratio, then exercising admission control (a burst against a
+// one-slot, no-queue server must shed with ErrOverloaded) and the tenant
+// quota clamp (DNF at the boundary, then ErrQuotaExceeded); -json writes
+// BENCH_server.json.
+//
 // With -topk, ORDER BY … LIMIT k queries run with top-k execution off (full
 // facade sort) and on (bounded-heap TopK, or an early-terminating Limit over
 // an index-order scan when the ORDER BY key is a unique indexed column)
@@ -85,6 +95,8 @@ func main() {
 	profile := flag.Bool("profile", false, "run the per-operator profiling bench instead of the figures")
 	transfer := flag.Bool("transfer", false, "run the predicate-transfer off-vs-on bench instead of the figures")
 	topk := flag.Bool("topk", false, "run the top-k-execution off-vs-on bench instead of the figures")
+	server := flag.Bool("server", false, "run the multi-session server bench instead of the figures")
+	sessions := flag.String("sessions", "1,2,4,8", "with -server, comma-separated session counts to sweep")
 	seeds := flag.Int("seeds", 3, "with -faults, fault sites tried per query")
 	workers := flag.Int("workers", 0, "parallel worker fan-out (0 = max(4, GOMAXPROCS))")
 	iters := flag.Int("iters", 1, "with -parallel/-batch, time each mode best-of-N runs")
@@ -113,6 +125,11 @@ func main() {
 
 	if *topk {
 		runTopKBench(*scale, resolveWorkers(*workers), *iters, *jsonOut)
+		return
+	}
+
+	if *server {
+		runServerBench(*scale, *sessions, *iters, *jsonOut)
 		return
 	}
 
@@ -371,6 +388,62 @@ func runTopKBench(scale float64, workers, iters int, jsonOut bool) {
 		fmt.Fprintln(os.Stderr, "ppbench: top-k execution changed a result set or missed the 2x flagship reduction")
 		os.Exit(1)
 	}
+}
+
+// runServerBench executes the multi-session server bench (N concurrent
+// sessions over one DB through predplace.Server) and exits nonzero when any
+// concurrent result diverged from its single-session baseline, the plan
+// cache never hit, or admission control misbehaved.
+func runServerBench(scale float64, sessionList string, iters int, jsonOut bool) {
+	sessions, err := parseSessions(sessionList)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "building benchmark database at scale %.3f (sessions %v, %d iters)…\n",
+		scale, sessions, iters)
+	h, err := harness.New(scale)
+	if err != nil {
+		fatal(err)
+	}
+	bench, err := h.RunServerBench(sessions, iters)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(bench)
+	if jsonOut {
+		data, err := bench.JSON()
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile("BENCH_server.json", append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "wrote BENCH_server.json")
+	}
+	if !bench.Pass {
+		fmt.Fprintln(os.Stderr, "ppbench: multi-session server bench diverged or misbehaved")
+		os.Exit(1)
+	}
+}
+
+// parseSessions turns "1,2,4,8" into session counts.
+func parseSessions(list string) ([]int, error) {
+	var out []int
+	for _, s := range strings.Split(list, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -sessions entry %q", s)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-sessions lists no session counts")
+	}
+	return out, nil
 }
 
 // marshalSweep renders one bench as a single object (the historical file

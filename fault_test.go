@@ -85,6 +85,13 @@ func TestFaultEveryReadSite(t *testing.T) {
 	}
 	sql := "SELECT * FROM t1, t2 WHERE t1.ua1 = t2.ua1 AND costly10(t1.u10)"
 
+	// Faults fire on physical reads, so every run starts from a cold pool:
+	// eviction is explicit now (query entry no longer flushes the shared
+	// pool), and it happens before arming the injector so eviction
+	// write-backs never consume fault sites.
+	if err := db.EvictPool(); err != nil {
+		t.Fatal(err)
+	}
 	db.SetFaults(&predplace.FaultConfig{}) // count-only: no injection
 	if _, err := db.Query(sql, predplace.Migration); err != nil {
 		t.Fatal(err)
@@ -99,6 +106,9 @@ func TestFaultEveryReadSite(t *testing.T) {
 		db.SetParallelism(p)
 		for n := int64(1); n <= reads; n++ {
 			audit := harness.StartLeakAudit()
+			if err := db.EvictPool(); err != nil {
+				t.Fatal(err)
+			}
 			db.SetFaults(&predplace.FaultConfig{FailReadN: n})
 			_, err := db.Query(sql, predplace.Migration)
 			db.SetFaults(nil)
@@ -127,6 +137,11 @@ func TestFaultTransferPrepass(t *testing.T) {
 	}
 	sql := "SELECT * FROM t1, t2 WHERE t1.ua1 = t2.ua1 AND costly10(t1.u10)"
 
+	// Cold pool before every run: faults fire on physical reads, and query
+	// entry no longer flushes the shared pool.
+	if err := db.EvictPool(); err != nil {
+		t.Fatal(err)
+	}
 	db.SetFaults(&predplace.FaultConfig{}) // count-only: no injection
 	base, err := db.Query(sql, predplace.Migration)
 	if err != nil {
@@ -144,6 +159,9 @@ func TestFaultTransferPrepass(t *testing.T) {
 		db.SetParallelism(p)
 		for n := int64(1); n <= reads; n++ {
 			audit := harness.StartLeakAudit()
+			if err := db.EvictPool(); err != nil {
+				t.Fatal(err)
+			}
 			db.SetFaults(&predplace.FaultConfig{FailReadN: n})
 			res, err := db.Query(sql, predplace.Migration)
 			db.SetFaults(nil)

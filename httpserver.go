@@ -1,0 +1,178 @@
+package predplace
+
+// The server's HTTP surface, kept in the library so cmd/ppserver stays a
+// thin flag-parsing shell and the handler is testable with httptest.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"predplace/internal/expr"
+)
+
+// ParseAlgorithm resolves an algorithm by its String() name, ignoring
+// case and punctuation ("ldl-ikkbz" = "LDLIKKBZ"); "migration" is accepted
+// for PredicateMigration, and empty selects Migration (the paper's
+// default).
+func ParseAlgorithm(name string) (Algorithm, error) {
+	key := algoKey(name)
+	if key == "" || key == "migration" {
+		return Migration, nil
+	}
+	for _, a := range Algorithms() {
+		if algoKey(a.String()) == key {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("predplace: unknown algorithm %q", name)
+}
+
+// algoKey lowercases a name and drops everything but letters and digits.
+func algoKey(name string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(name) {
+		if (r >= 'a' && r <= 'z') || (r >= '0' && r <= '9') {
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// QueryRequest is the POST /query body.
+type QueryRequest struct {
+	// Tenant identifies the caller for quota accounting ("" is a shared
+	// anonymous tenant).
+	Tenant string `json:"tenant,omitempty"`
+	// SQL is the statement text.
+	SQL string `json:"sql"`
+	// Algorithm names the placement algorithm ("" = migration).
+	Algorithm string `json:"algorithm,omitempty"`
+}
+
+// QueryResponse is the POST /query success body.
+type QueryResponse struct {
+	Cols []string `json:"cols,omitempty"`
+	// Rows renders values as JSON natural types (null/number/string).
+	Rows    [][]any `json:"rows,omitempty"`
+	RowN    int     `json:"row_count"`
+	Charged float64 `json:"charged"`
+	DNF     bool    `json:"dnf,omitempty"`
+	Plan    string  `json:"plan,omitempty"`
+	Elapsed string  `json:"elapsed"`
+}
+
+// errorResponse is every non-2xx body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the server's HTTP API:
+//
+//	POST /query   {"tenant","sql","algorithm"} → QueryResponse
+//	GET  /stats   → ServerStats
+//	GET  /healthz → 200 "ok"
+//
+// Shed queries answer 503 (retryable), exhausted quotas 429, client
+// mistakes 400.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		//pplint:ignore errdrop health-probe write; a broken client connection has no one left to tell
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if strings.TrimSpace(req.SQL) == "" {
+		httpError(w, http.StatusBadRequest, "empty sql")
+		return
+	}
+	algo, err := ParseAlgorithm(req.Algorithm)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	start := time.Now()
+	res, err := s.Query(r.Context(), req.Tenant, req.SQL, algo)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrOverloaded):
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusServiceUnavailable, err.Error())
+		case errors.Is(err, ErrQuotaExceeded):
+			httpError(w, http.StatusTooManyRequests, err.Error())
+		case errors.Is(err, ErrCanceled):
+			// The client went away or its deadline fired mid-query.
+			httpError(w, 499, err.Error())
+		default:
+			httpError(w, http.StatusBadRequest, err.Error())
+		}
+		return
+	}
+	resp := &QueryResponse{
+		Cols:    res.Cols,
+		Rows:    jsonRows(res.Rows),
+		RowN:    len(res.Rows),
+		Charged: res.Stats.Charged(),
+		DNF:     res.DNF,
+		Elapsed: time.Since(start).String(),
+	}
+	if res.Explained {
+		resp.Plan = res.Plan
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// jsonRows converts result values to JSON natural types.
+func jsonRows(rows [][]Value) [][]any {
+	out := make([][]any, len(rows))
+	for i, r := range rows {
+		jr := make([]any, len(r))
+		for j, v := range r {
+			switch {
+			case v.IsNull():
+				jr[j] = nil
+			case v.Kind == expr.TString:
+				jr[j] = v.S
+			default:
+				jr[j] = v.I
+			}
+		}
+		out[i] = jr
+	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	//pplint:ignore errdrop response already committed; an encode failure here means the client hung up
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, errorResponse{Error: msg})
+}

@@ -49,6 +49,20 @@ func New(acct *storage.Accountant) *Tree {
 	return &Tree{root: &node{leaf: true}, height: 1, acct: acct}
 }
 
+// WithAcct returns a read-only view of the tree whose probes charge into
+// acct instead of the tree's own accountant — how a query attributes index
+// probe I/O to its private ledger while sharing the loaded tree. The view
+// shares all nodes; it must not be used to mutate the tree while other
+// probes are in flight (the same contract as the Tree itself).
+func (t *Tree) WithAcct(acct *storage.Accountant) *Tree {
+	if acct == nil {
+		return t
+	}
+	v := *t
+	v.acct = acct
+	return &v
+}
+
 // Len returns the number of entries in the tree.
 func (t *Tree) Len() int { return t.size }
 

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"predplace/internal/btree"
 	"predplace/internal/expr"
@@ -93,6 +94,13 @@ type Catalog struct {
 	mu     sync.RWMutex
 	tables map[string]*Table
 	funcs  map[string]*expr.FuncDef
+	// version counts schema- and statistics-affecting changes (table
+	// creation, data modification, ANALYZE). Cached query plans embed the
+	// version they were planned against and are invalidated when it moves.
+	// Function registration deliberately does NOT bump it: binding an
+	// IN-subquery registers a function as a side effect, and bumping here
+	// would make every subquery-bearing plan evict itself from the cache.
+	version atomic.Int64
 }
 
 // New creates an empty catalog.
@@ -114,8 +122,18 @@ func (c *Catalog) AddTable(t *Table) error {
 		t.Indexes = make(map[string]*btree.Tree)
 	}
 	c.tables[t.Name] = t
+	c.version.Add(1)
 	return nil
 }
+
+// Version returns the current schema/statistics version; see the version
+// field for what moves it.
+func (c *Catalog) Version() int64 { return c.version.Load() }
+
+// BumpVersion records a change that can affect planning — an insert, a
+// delete, an ANALYZE — so version-keyed plan caches drop their stale
+// entries.
+func (c *Catalog) BumpVersion() { c.version.Add(1) }
 
 // Table looks up a table by name.
 func (c *Catalog) Table(name string) (*Table, error) {
@@ -172,26 +190,4 @@ func (c *Catalog) Funcs() []*expr.FuncDef {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
-}
-
-// ResetFuncCounters zeroes every function's invocation counter; the harness
-// calls this before each measured query.
-func (c *Catalog) ResetFuncCounters() {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	for _, f := range c.funcs {
-		f.ResetCalls()
-	}
-}
-
-// ChargedFuncCost sums invocations × cost across all functions since the
-// last reset — the paper's function-cost charge for a query.
-func (c *Catalog) ChargedFuncCost() float64 {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	var total float64
-	for _, f := range c.funcs {
-		total += f.ChargedCost()
-	}
-	return total
 }

@@ -85,12 +85,12 @@ func TestFuncRegistry(t *testing.T) {
 	}
 	f.Invoke([]expr.Value{expr.I(1)})
 	f.Invoke([]expr.Value{expr.I(2)})
-	if c.ChargedFuncCost() != 20 {
-		t.Fatalf("ChargedFuncCost = %v", c.ChargedFuncCost())
+	if f.ChargedCost() != 20 {
+		t.Fatalf("ChargedCost = %v", f.ChargedCost())
 	}
-	c.ResetFuncCounters()
-	if c.ChargedFuncCost() != 0 {
-		t.Fatal("ResetFuncCounters failed")
+	f.ResetCalls()
+	if f.ChargedCost() != 0 {
+		t.Fatal("ResetCalls failed")
 	}
 	if len(c.Funcs()) != 1 {
 		t.Fatal("Funcs() wrong")

@@ -20,8 +20,10 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"predplace/internal/btree"
 	"predplace/internal/catalog"
 	"predplace/internal/cost"
+	"predplace/internal/expr"
 	"predplace/internal/pcache"
 	"predplace/internal/plan"
 	"predplace/internal/storage"
@@ -39,7 +41,11 @@ var ErrCanceled = errors.New("exec: query canceled")
 
 // Env is the execution context of one query. Run one query at a time per
 // Env; within a query, the engine's own parallel operators may consume the
-// Env from multiple goroutines (its accounting is concurrency-safe).
+// Env from multiple goroutines (its accounting is concurrency-safe). All
+// per-query mutable state — I/O accounting, synthetic charges, UDF
+// invocation counters, predicate-cache contents — lives here, so any number
+// of Envs over one catalog, pool, and disk execute concurrently without
+// observing each other's charges.
 type Env struct {
 	// Ctx, when non-nil, cancels the query: every operator observes it on
 	// the same cadence as the charged-cost budget check (checkAbort), so a
@@ -49,10 +55,10 @@ type Env struct {
 	Ctx context.Context
 	// Cat resolves tables and functions.
 	Cat *catalog.Catalog
-	// Pool is the buffer pool all page access goes through.
+	// Pool is the buffer pool all page access goes through. It is shared
+	// between sessions; the query's own I/O accounting comes from the
+	// per-Env tracker (see Charged), never from shared pool state.
 	Pool *storage.BufferPool
-	// Acct is the physical I/O accountant.
-	Acct *storage.Accountant
 	// Cache is the predicate cache (may be nil or disabled).
 	Cache *pcache.Manager
 	// Budget aborts execution when the charged cost exceeds it (0 = none).
@@ -79,6 +85,11 @@ type Env struct {
 	// byte-identical with it on or off; wall time is never charged. Off by
 	// default, keeping the hot paths allocation-free.
 	Profile bool
+	// Validate, when set, checks every plan tree against plan.Validate's
+	// structural invariants before execution. The facade snapshots it once
+	// from PPLINT_VALIDATE at Open — not per query — so execution never
+	// reads the process environment on the hot path.
+	Validate bool
 	// Transfer enables the predicate-transfer pre-filter pass: before the
 	// main plan runs, Bloom filters flood selectivity across the join
 	// graph's equality classes and the plan's scans consult them to drop
@@ -88,7 +99,18 @@ type Env struct {
 	// Parallelism and BatchSize. Off by default: byte-identical execution.
 	Transfer bool
 
-	baseIO storage.IOStats
+	// tracker is the query's private I/O ledger: a cold-pool simulation with
+	// the shared pool's exact replacement geometry, charging a read exactly
+	// where a solo run on a freshly flushed pool would have paid one. It
+	// makes charged cost independent of what other sessions keep resident —
+	// and byte-identical to the query's single-session figure.
+	tracker *storage.IOTracker
+	// funcCalls counts this query's UDF invocations per function — the state
+	// that used to live (shared, racy across sessions) on the catalog's
+	// FuncDef objects. Guarded by funcMu; per-function counters are atomics
+	// so parallel workers bump them without re-entering the map lock.
+	funcMu    sync.Mutex
+	funcCalls map[*expr.FuncDef]*atomic.Int64
 	// syntheticIO accumulates bulk synthetic charges (external-sort spill);
 	// spillTuples counts per-tuple hash-partition charges so their total is
 	// a single count×constant product — identical in any evaluation order.
@@ -149,19 +171,21 @@ func (e *Env) exchangeBatch() int {
 	return parallelBatch
 }
 
-// begin snapshots counters at query start. The buffer pool is flushed so
-// every query is measured cold, the way the paper's I/O-dominated runs were.
-// A flush failure is fatal to the measurement (the baseline I/O snapshot
-// would be wrong), so it aborts the query instead of being dropped.
-func (e *Env) begin() error {
-	e.Cat.ResetFuncCounters()
+// begin resets the per-query state at query start: a fresh private I/O
+// tracker, fresh UDF counters, a cleared predicate cache. The query is
+// *measured* cold — the tracker simulates a freshly flushed private pool —
+// without flushing the shared pool other sessions are reading, so the
+// figures match the paper's cold runs while sessions keep their warm pages.
+// Callers that need a *physically* cold start (fault-injection determinism)
+// evict explicitly via DB.EvictPool.
+func (e *Env) begin() {
+	e.tracker = storage.NewIOTracker(e.Pool)
+	e.funcMu.Lock()
+	e.funcCalls = map[*expr.FuncDef]*atomic.Int64{}
+	e.funcMu.Unlock()
 	if e.Cache != nil {
 		e.Cache.Reset()
 	}
-	if err := e.Pool.FlushAll(); err != nil {
-		return fmt.Errorf("exec: flushing buffer pool at query start: %w", err)
-	}
-	e.baseIO = e.Acct.Stats()
 	e.syntheticIO = 0
 	e.spillTuples.Store(0)
 	e.bloomAdds.Store(0)
@@ -174,7 +198,81 @@ func (e *Env) begin() error {
 	} else {
 		e.prof = nil
 	}
-	return nil
+}
+
+// trk returns the query's private I/O tracker, creating one lazily for
+// entry points that bypass begin (MatchingTIDs). Lazy creation is safe:
+// every entry point starts single-threaded, before parallel operators fan
+// out.
+func (e *Env) trk() *storage.IOTracker {
+	if e.tracker == nil {
+		e.tracker = storage.NewIOTracker(e.Pool)
+	}
+	return e.tracker
+}
+
+// heap returns tab's heap file as a view whose page accesses charge into
+// this query's private ledger. All executor table access goes through it.
+func (e *Env) heap(tab *catalog.Table) *storage.HeapFile {
+	return tab.Heap.WithTracker(e.trk())
+}
+
+// index returns t as a probe view charging leaf I/Os into this query's
+// private ledger instead of the shared tree's accountant.
+func (e *Env) index(t *btree.Tree) *btree.Tree {
+	return t.WithAcct(e.trk().Acct())
+}
+
+// ioStats returns the page I/O charged to this query so far; the profiler
+// diffs it around operator calls to attribute I/O per plan node.
+func (e *Env) ioStats() storage.IOStats {
+	return e.trk().Stats()
+}
+
+// invoke evaluates f on args, counting the invocation in the query's own
+// counters (never the catalog's shared FuncDef state) and routing any real
+// I/O the function performs — subquery predicates reading pages — into the
+// query's private tracker.
+func (e *Env) invoke(f *expr.FuncDef, args []expr.Value) (expr.Value, error) {
+	e.funcCount(f).Add(1)
+	if f.EvalIO != nil {
+		return f.EvalIO(e.tracker, args)
+	}
+	if f.EvalErr != nil {
+		return f.EvalErr(args)
+	}
+	return f.Eval(args), nil
+}
+
+// funcCount returns this query's invocation counter for f, creating it (and
+// the map itself, for entry points that bypass begin) on first use.
+func (e *Env) funcCount(f *expr.FuncDef) *atomic.Int64 {
+	e.funcMu.Lock()
+	if e.funcCalls == nil {
+		e.funcCalls = map[*expr.FuncDef]*atomic.Int64{}
+	}
+	c, ok := e.funcCalls[f]
+	if !ok {
+		c = new(atomic.Int64)
+		e.funcCalls[f] = c
+	}
+	e.funcMu.Unlock()
+	return c
+}
+
+// funcCharge returns Σ invocations × per-call cost over this query's own
+// counters. RealWork functions charge zero: their page traffic is metered
+// directly through the tracker.
+func (e *Env) funcCharge() float64 {
+	e.funcMu.Lock()
+	defer e.funcMu.Unlock()
+	var total float64
+	for f, c := range e.funcCalls {
+		if !f.RealWork {
+			total += float64(c.Load()) * f.Cost
+		}
+	}
+	return total
 }
 
 // ChargeSynthetic adds simulated spill I/O (external sort runs, hash
@@ -209,12 +307,12 @@ func (e *Env) synthetic() float64 {
 		float64(e.bloomProbes.Load())*cost.BloomProbePerTuple
 }
 
-// Charged returns the charged cost so far: page I/Os since begin plus
-// synthetic I/O plus function-invocation charges. Safe to call from
-// parallel workers.
+// Charged returns the charged cost so far: the query's page I/Os plus
+// synthetic I/O plus function-invocation charges — all read from per-Env
+// state, so concurrent sessions' figures never bleed into each other. Safe
+// to call from parallel workers.
 func (e *Env) Charged() float64 {
-	io := e.Acct.Stats().Sub(e.baseIO)
-	return float64(io.Total()) + e.synthetic() + e.Cat.ChargedFuncCost()
+	return float64(e.trk().Stats().Total()) + e.synthetic() + e.funcCharge()
 }
 
 // checkAbort is the per-operator abort check, called on each operator's
@@ -342,23 +440,28 @@ func (s Stats) String() string {
 	return base
 }
 
-// finish assembles the stats at query end.
+// finish assembles the stats at query end from the query's own counters.
 func (e *Env) finish(rows int) Stats {
 	inv := map[string]int64{}
 	var charge float64
-	for _, f := range e.Cat.Funcs() {
-		if n := f.Calls(); n > 0 {
+	e.funcMu.Lock()
+	for f, c := range e.funcCalls {
+		n := c.Load()
+		if n > 0 {
 			inv[f.Name] = n
 		}
-		charge += f.ChargedCost()
+		if !f.RealWork {
+			charge += float64(n) * f.Cost
+		}
 	}
+	e.funcMu.Unlock()
 	var hits, misses int64
 	var entries int
 	if e.Cache != nil {
 		hits, misses, entries = e.Cache.Stats()
 	}
 	s := Stats{
-		IO:           e.Acct.Stats().Sub(e.baseIO),
+		IO:           e.trk().Stats(),
 		SyntheticIO:  e.synthetic(),
 		FuncCharge:   charge,
 		Invocations:  inv,

@@ -162,7 +162,7 @@ func TestConcurrentReadOnlyQueries(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			env := &Env{Cat: db.Cat, Pool: db.Pool, Acct: db.Disk.Accountant(),
+			env := &Env{Cat: db.Cat, Pool: db.Pool,
 				Cache: pcache.NewManager(false, 0), CountOnly: true}
 			tab, _ := db.Cat.Table("t3")
 			cols := make([]query.ColRef, len(tab.Columns))

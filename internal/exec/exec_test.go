@@ -24,7 +24,6 @@ func newEnv(t *testing.T, tables []int, caching bool) (*datagen.DB, *Env) {
 	return db, &Env{
 		Cat:   db.Cat,
 		Pool:  db.Pool,
-		Acct:  db.Disk.Accountant(),
 		Cache: pcache.NewManager(caching, 0),
 	}
 }
@@ -422,7 +421,7 @@ func TestNullJoinKeysNeverMatch(t *testing.T) {
 		j := &plan.Join{Method: m, Outer: outer, Inner: inner, Primary: q.Preds[0],
 			SortOuter: true, SortInner: true}
 		j.ColRefs = plan.ConcatCols(outer, inner)
-		env2 := &Env{Cat: db.Cat, Pool: db.Pool, Acct: db.Disk.Accountant(), Cache: pcache.NewManager(false, 0)}
+		env2 := &Env{Cat: db.Cat, Pool: db.Pool, Cache: pcache.NewManager(false, 0)}
 		res, err := Run(env2, j)
 		if err != nil {
 			t.Fatalf("%v: %v", m, err)

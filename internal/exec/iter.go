@@ -105,7 +105,7 @@ func newSeqScan(e *Env, s *plan.SeqScan) (Iterator, error) {
 }
 
 func (s *seqScanIter) Open() error {
-	s.it = s.tab.Heap.Scan()
+	s.it = s.e.heap(s.tab).Scan()
 	s.probes = s.e.transferProbes(s.tab.Name)
 	return nil
 }
@@ -200,9 +200,12 @@ func (s *seqScanIter) Close() error {
 // the B-tree's leaf iterator lazily, so a wide range never materializes
 // every TID up front. Close releases both.
 type indexScanIter struct {
-	e      *Env
-	node   *plan.IndexScan
-	tab    *catalog.Table
+	e    *Env
+	node *plan.IndexScan
+	tab  *catalog.Table
+	// heap is the table's heap file viewed through the query's I/O tracker,
+	// resolved once at Open so per-tuple fetches don't re-wrap it.
+	heap   *storage.HeapFile
 	tids   []storage.TID
 	pos    int
 	rng    *btree.Iter
@@ -229,7 +232,8 @@ func newIndexScan(e *Env, s *plan.IndexScan) (Iterator, error) {
 }
 
 func (s *indexScanIter) Open() error {
-	tree := s.tab.Indexes[s.node.Col]
+	tree := s.e.index(s.tab.Indexes[s.node.Col])
+	s.heap = s.e.heap(s.tab)
 	s.tids = nil
 	s.pos, s.count = 0, 0
 	s.rng = nil
@@ -281,7 +285,7 @@ func (s *indexScanIter) Next() (expr.Row, bool, error) {
 				return nil, false, err
 			}
 		}
-		rec, err := s.tab.Heap.Get(tid)
+		rec, err := s.heap.Get(tid)
 		if err != nil {
 			return nil, false, err
 		}
@@ -319,7 +323,7 @@ func (s *indexScanIter) NextBatch(dst []expr.Row) (int, error) {
 			}
 		}
 		row = s.alloc.next(width)
-		if err := s.tab.Heap.View(tid, decode); err != nil {
+		if err := s.heap.View(tid, decode); err != nil {
 			return 0, err
 		}
 		if len(s.probes) > 0 && !s.e.probeRow(row, s.probes, s.tc) {

@@ -5,11 +5,13 @@ import (
 	"fmt"
 	"sort"
 
+	"predplace/internal/btree"
 	"predplace/internal/catalog"
 	"predplace/internal/cost"
 	"predplace/internal/expr"
 	"predplace/internal/plan"
 	"predplace/internal/query"
+	"predplace/internal/storage"
 )
 
 func buildJoin(e *Env, j *plan.Join) (Iterator, error) {
@@ -262,10 +264,14 @@ func (n *nlJoinIter) Close() error {
 // tuple's join value, fetches matching tuples, and applies the inner-side
 // residual filters to each fetched match.
 type indexNLJoinIter struct {
-	e         *Env
-	node      *plan.Join
-	outer     Iterator
-	tab       *catalog.Table
+	e     *Env
+	node  *plan.Join
+	outer Iterator
+	tab   *catalog.Table
+	// tree and heap are the inner index and heap viewed through the query's
+	// I/O tracker, resolved once at Open so per-probe access doesn't re-wrap.
+	tree      *btree.Tree
+	heap      *storage.HeapFile
 	outKeyIdx int
 	residual  []*compiledPred // inner-side filters, innermost first
 	// Profiling attribution for the probe-driven inner chain, whose plan
@@ -350,7 +356,11 @@ func newIndexNLJoin(e *Env, j *plan.Join) (Iterator, error) {
 	return it, nil
 }
 
-func (n *indexNLJoinIter) Open() error { return n.outer.Open() }
+func (n *indexNLJoinIter) Open() error {
+	n.tree = n.e.index(n.tab.Indexes[n.node.InnerIndexCol])
+	n.heap = n.e.heap(n.tab)
+	return n.outer.Open()
+}
 
 func (n *indexNLJoinIter) Next() (expr.Row, bool, error) {
 	for {
@@ -363,9 +373,8 @@ func (n *indexNLJoinIter) Next() (expr.Row, bool, error) {
 			n.matches = n.matches[:0]
 			key := row[n.outKeyIdx]
 			if key.Kind == expr.TInt { // NULL or non-int keys match nothing
-				tree := n.tab.Indexes[n.node.InnerIndexCol]
-				for _, tid := range tree.Probe(key.I) {
-					rec, err := n.tab.Heap.Get(tid)
+				for _, tid := range n.tree.Probe(key.I) {
+					rec, err := n.heap.Get(tid)
 					if err != nil {
 						return nil, false, err
 					}

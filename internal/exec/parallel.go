@@ -18,6 +18,7 @@ import (
 	"predplace/internal/catalog"
 	"predplace/internal/expr"
 	"predplace/internal/plan"
+	"predplace/internal/storage"
 )
 
 // parallelBatch is the number of rows grouped per channel send, amortizing
@@ -175,8 +176,12 @@ func (f *fanIn) shutdown() {
 // the serial scan (the sequential/random split may shift — the charged
 // total does not).
 type parallelScanIter struct {
-	e      *Env
-	tab    *catalog.Table
+	e   *Env
+	tab *catalog.Table
+	// heap is the table's heap viewed through the query's I/O tracker,
+	// resolved once before the workers spawn (the tracker is sharded and
+	// concurrency-safe, so workers share one view).
+	heap   *storage.HeapFile
 	fan    fanIn
 	probes []tableProbe
 	tc     *opCounters
@@ -202,6 +207,7 @@ func (s *parallelScanIter) Open() error {
 	// filters are immutable after the transfer prepass, so workers share
 	// them without locks.
 	s.probes = s.e.transferProbes(s.tab.Name)
+	s.heap = s.e.heap(s.tab)
 	n := s.tab.Heap.NumPages()
 	w := s.e.workers()
 	if w > n {
@@ -232,7 +238,7 @@ func (s *parallelScanIter) Open() error {
 // in exchangeBatch-sized messages (pooled buffers).
 func (s *parallelScanIter) scanPartition(lo, hi int) {
 	defer s.fan.wg.Done()
-	it := s.tab.Heap.ScanRange(lo, hi)
+	it := s.heap.ScanRange(lo, hi)
 	defer it.Close()
 	bs := s.e.exchangeBatch()
 	width := len(s.tab.Columns)

@@ -133,9 +133,7 @@ func TestParallelHashJoinBudgetDNFDuringBuild(t *testing.T) {
 func TestParallelCloseEarly(t *testing.T) {
 	db, env := newEnv(t, []int{3}, false)
 	env.Parallelism = 4
-	if err := env.begin(); err != nil {
-		t.Fatal(err)
-	}
+	env.begin()
 	it, err := Build(env, scanNode(t, db.Cat, "t3"))
 	if err != nil {
 		t.Fatal(err)

@@ -92,7 +92,7 @@ func (cp *compiledPred) eval(e *Env, row expr.Row) (expr.Value, error) {
 				}
 				return v, nil
 			}
-			v, err := p.Func.InvokeErr(args)
+			v, err := e.invoke(p.Func, args)
 			if err != nil {
 				return expr.Null, err
 			}
@@ -106,7 +106,7 @@ func (cp *compiledPred) eval(e *Env, row expr.Row) (expr.Value, error) {
 		if cp.prof != nil {
 			cp.noteInvocation()
 		}
-		return p.Func.InvokeErr(args)
+		return e.invoke(p.Func, args)
 	}
 	return expr.Null, fmt.Errorf("exec: unknown predicate kind %d", p.Kind)
 }
@@ -227,7 +227,7 @@ func (cp *compiledPred) holdsBatch(e *Env, rows []expr.Row, keep []bool, count *
 					cp.noteInvocation()
 				}
 				var err error
-				if v, err = p.Func.InvokeErr(args); err != nil {
+				if v, err = e.invoke(p.Func, args); err != nil {
 					return err
 				}
 			}
@@ -293,7 +293,7 @@ func (cp *compiledPred) holdsBatchCached(e *Env, rows []expr.Row, keep []bool, c
 				cp.prof.cacheMisses.Add(1)
 				cp.noteInvocation()
 			}
-			v, err := p.Func.InvokeErr(args)
+			v, err := e.invoke(p.Func, args)
 			if err != nil {
 				return err
 			}

@@ -110,18 +110,18 @@ type profIter struct {
 func (p *profIter) Open() error {
 	p.c.opens.Add(1)
 	t0 := time.Now()
-	io0 := p.e.Acct.Stats()
+	io0 := p.e.ioStats()
 	err := p.in.Open()
-	p.c.addIO(p.e.Acct.Stats().Sub(io0))
+	p.c.addIO(p.e.ioStats().Sub(io0))
 	p.c.wallNs.Add(int64(time.Since(t0)))
 	return err
 }
 
 func (p *profIter) Next() (expr.Row, bool, error) {
 	t0 := time.Now()
-	io0 := p.e.Acct.Stats()
+	io0 := p.e.ioStats()
 	row, ok, err := p.in.Next()
-	p.c.addIO(p.e.Acct.Stats().Sub(io0))
+	p.c.addIO(p.e.ioStats().Sub(io0))
 	p.c.wallNs.Add(int64(time.Since(t0)))
 	if ok {
 		*p.rows++
@@ -133,9 +133,9 @@ func (p *profIter) Next() (expr.Row, bool, error) {
 // countIter, the wrapper must not degrade the tree to tuple-at-a-time.
 func (p *profIter) NextBatch(dst []expr.Row) (int, error) {
 	t0 := time.Now()
-	io0 := p.e.Acct.Stats()
+	io0 := p.e.ioStats()
 	n, err := nextBatch(p.in, dst)
-	p.c.addIO(p.e.Acct.Stats().Sub(io0))
+	p.c.addIO(p.e.ioStats().Sub(io0))
 	p.c.wallNs.Add(int64(time.Since(t0)))
 	if err != nil {
 		return 0, err
@@ -149,9 +149,9 @@ func (p *profIter) NextBatch(dst []expr.Row) (int, error) {
 
 func (p *profIter) Close() error {
 	t0 := time.Now()
-	io0 := p.e.Acct.Stats()
+	io0 := p.e.ioStats()
 	err := p.in.Close()
-	p.c.addIO(p.e.Acct.Stats().Sub(io0))
+	p.c.addIO(p.e.ioStats().Sub(io0))
 	p.c.wallNs.Add(int64(time.Since(t0)))
 	return err
 }

@@ -139,7 +139,7 @@ func TestProfileObservational(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	env2 := &Env{Cat: env.Cat, Pool: env.Pool, Acct: db.Disk.Accountant(), Cache: env.Cache}
+	env2 := &Env{Cat: env.Cat, Pool: env.Pool, Cache: env.Cache}
 	env2.Profile = true
 	prof, err := Run(env2, mk())
 	if err != nil {

@@ -3,7 +3,6 @@ package exec
 import (
 	"errors"
 	"fmt"
-	"os"
 
 	"predplace/internal/expr"
 	"predplace/internal/plan"
@@ -41,19 +40,17 @@ func collectTrace(e *Env) map[plan.Node]int64 {
 	return out
 }
 
-// Run executes a plan tree to completion, resetting function counters and
-// the predicate cache first (each query is measured in isolation). With
-// PPLINT_VALIDATE=1 in the environment, the plan tree is checked against the
-// structural invariants of plan.Validate before any execution.
+// Run executes a plan tree to completion, resetting the Env's per-query
+// state first (each query is measured in isolation). With Env.Validate set
+// (the facade snapshots PPLINT_VALIDATE at Open), the plan tree is checked
+// against the structural invariants of plan.Validate before any execution.
 func Run(e *Env, root plan.Node) (*Result, error) {
-	if os.Getenv("PPLINT_VALIDATE") == "1" {
+	if e.Validate {
 		if err := plan.Validate(root); err != nil {
 			return nil, fmt.Errorf("exec: refusing to run invalid plan: %w", err)
 		}
 	}
-	if err := e.begin(); err != nil {
-		return nil, err
-	}
+	e.begin()
 	if e.prof != nil {
 		// Pre-register every plan node's counters so the profile and
 		// NodeRows cover the whole tree — including subtrees the data flow
@@ -171,7 +168,7 @@ func MatchingTIDs(e *Env, tableName string, preds []*query.Predicate) ([]storage
 		return nil, err
 	}
 	var out []storage.TID
-	it := tab.Heap.Scan()
+	it := e.heap(tab).Scan()
 	defer it.Close()
 	count := 0
 	for {

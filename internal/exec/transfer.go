@@ -315,15 +315,16 @@ func (e *Env) runTransferPrepass(root plan.Node) error {
 	}
 	ts.prepassCharged = e.Charged() - charged0
 	ts.prepassProbes = e.bloomProbes.Load() - probes0
-	// Leave the pool cold: the prepass scans warm the LRU in a serial,
-	// schedule-dependent order, and the main plan's physical hit pattern
-	// against that leftover state varies with executor mode (tuple vs batch,
-	// serial vs parallel partition interleaving). Evicting everything makes
-	// each main-scan page miss exactly once regardless of mode, keeping the
-	// charged cost deterministic and parallelism/batching-invariant.
-	if err := e.Pool.EvictUnpinned(); err != nil {
-		return err
-	}
+	// Leave the query's I/O ledger cold: the prepass scans warm the
+	// simulated LRU in a serial, schedule-dependent order, and the main
+	// plan's charged hit pattern against that leftover state would vary with
+	// executor mode (tuple vs batch, serial vs parallel partition
+	// interleaving). Evicting the simulation makes each main-scan page miss
+	// exactly once regardless of mode, keeping the charged cost
+	// deterministic and parallelism/batching-invariant. The shared pool is
+	// left alone — other sessions' resident pages are not ours to evict, and
+	// physical residency no longer affects this query's measurement.
+	e.trk().EvictUnpinned()
 	e.transfer = ts
 	return nil
 }
@@ -346,7 +347,7 @@ func (t *transferTable) dirty() bool {
 // replaced only after the scan completes, so the scan consistently probes
 // the pre-scan filters.
 func (ts *transferState) scanTable(e *Env, t *transferTable) error {
-	it := t.tab.Heap.Scan()
+	it := e.heap(t.tab).Scan()
 	defer it.Close()
 
 	builders := map[*transferClass]*bloomFilter{}

@@ -3,6 +3,8 @@ package expr
 import (
 	"fmt"
 	"sync/atomic"
+
+	"predplace/internal/storage"
 )
 
 // FuncDef describes a user-defined function usable in predicates. The paper's
@@ -36,6 +38,13 @@ type FuncDef struct {
 	// — subquery predicates reading pages through the buffer pool — report
 	// failures here instead of silently folding them into a truth value.
 	EvalErr func(args []Value) (Value, error)
+	// EvalIO, when set, takes precedence over EvalErr for callers that carry
+	// a per-query I/O tracker (the executor): functions whose real work reads
+	// pages — subquery predicates — charge that traffic to the running
+	// query's private ledger instead of a shared accountant, so concurrent
+	// sessions never observe each other's subquery I/O. Callers without a
+	// tracker pass nil, which degrades to untracked shared-pool access.
+	EvalIO func(tr *storage.IOTracker, args []Value) (Value, error)
 
 	calls atomic.Int64
 }
@@ -52,9 +61,14 @@ func (f *FuncDef) Invoke(args []Value) Value {
 }
 
 // InvokeErr evaluates the function on args, counting the invocation and
-// propagating an evaluation error when the function defines EvalErr.
+// propagating an evaluation error when the function defines EvalErr or
+// EvalIO (the latter runs untracked here; the executor invokes it with the
+// running query's tracker instead).
 func (f *FuncDef) InvokeErr(args []Value) (Value, error) {
 	f.calls.Add(1)
+	if f.EvalIO != nil {
+		return f.EvalIO(nil, args)
+	}
 	if f.EvalErr != nil {
 		return f.EvalErr(args)
 	}

@@ -97,6 +97,12 @@ func (h *Harness) RunFaultBench(workers, seeds int) (*FaultBench, error) {
 		h.DB.SetTimeout(0)
 		h.DB.SetParallelism(1)
 		h.DB.SetBatchSize(0)
+		// Faults fire on physical reads only; start cold so every page read
+		// of the query is observable (and the fault site space is the full
+		// read sequence, reproducible run to run).
+		if err := h.DB.EvictPool(); err != nil {
+			return nil, fmt.Errorf("%s baseline: %w", q.name, err)
+		}
 		h.DB.SetFaults(&predplace.FaultConfig{})
 		base, err := h.DB.Query(q.sql, predplace.Migration)
 		if err != nil {
@@ -150,6 +156,15 @@ func (h *Harness) faultRun(name, sql, cfg string, seed, failN int64,
 	h.DB.SetTimeout(0)
 	h.DB.SetParallelism(workers)
 	h.DB.SetBatchSize(batchSize)
+	// Cold start before arming the injector: eviction's own write-backs must
+	// not consume fault sites, and the run's physical read sequence must
+	// match the baseline's so failN lands on the same page access.
+	if err := h.DB.EvictPool(); err != nil {
+		run.Outcome = "unexpected"
+		run.Err = err.Error()
+		run.Detail = "pool eviction before fault run failed"
+		return run
+	}
 	h.DB.SetFaults(&predplace.FaultConfig{Seed: seed, FailReadN: failN})
 	audit := StartLeakAudit()
 	res, err := h.DB.Query(sql, predplace.Migration)

@@ -1,0 +1,39 @@
+//corpus:path example.com/internal/exec
+
+// Package corpus19 seeds ctxabort violations in server loop shapes: the
+// session drain loop charging each statement it serves and the admission
+// retry loop charging queue-wait cost, neither with a reachable abort
+// check — exactly the loops that would keep a draining server burning
+// budget for sessions whose clients are gone. Fixed twins live in
+// ctxabort_good_server.go.
+package corpus19
+
+type env struct{ aborted bool }
+
+func (e *env) ChargeStatement(n int) {}
+func (e *env) ChargeQueueWait(n int) {}
+func (e *env) checkAbort() error     { return nil }
+
+// drainSession serves every queued statement of one session, charging each
+// one, without ever consulting the abort check: a canceled session drains
+// its whole backlog anyway.
+func (e *env) drainSession(stmts []int64) int {
+	served := 0
+	for range stmts { // want "without a reachable checkAbort"
+		e.ChargeStatement(1)
+		served++
+	}
+	return served
+}
+
+// awaitSlot spins for an execution slot, charging each wait round; shutdown
+// cannot interrupt the spin.
+func (e *env) awaitSlot(tries int) bool {
+	for i := 0; i < tries; i++ { // want "without a reachable checkAbort"
+		e.ChargeQueueWait(1)
+		if i == tries-1 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,43 @@
+//corpus:path example.com/internal/exec
+
+// Package corpus20 holds the fixed twins of ctxabort_bad_server.go: the
+// server's two sanctioned loop shapes — observe the abort check on the
+// drain's own cadence, or count locally and charge once after the loop.
+// Both are silent.
+package corpus20
+
+type env struct{ aborted bool }
+
+func (e *env) ChargeStatement(n int) {}
+func (e *env) ChargeQueueWait(n int) {}
+func (e *env) checkAbort() error     { return nil }
+
+// drainSession checks for abort between statements, so a canceled session
+// stops at the next statement boundary instead of draining its backlog.
+func (e *env) drainSession(stmts []int64) (int, error) {
+	served := 0
+	for range stmts {
+		if err := e.checkAbort(); err != nil {
+			return served, err
+		}
+		e.ChargeStatement(1)
+		served++
+	}
+	return served, nil
+}
+
+// awaitSlot counts wait rounds in a local and charges once after the loop —
+// the loop body itself charges nothing.
+func (e *env) awaitSlot(tries int) bool {
+	waited := 0
+	got := false
+	for i := 0; i < tries; i++ {
+		waited++
+		if i == tries-1 {
+			got = true
+			break
+		}
+	}
+	e.ChargeQueueWait(waited)
+	return got
+}

@@ -1,0 +1,31 @@
+//corpus:path example.com/internal/exec
+
+// Package corpus21 seeds profileclean violations in server result-stream
+// shapes: the iterator feeding a session's response builds a fresh row
+// buffer and a fresh column mask on every Next/NextBatch call — per-call
+// garbage multiplied by every concurrent session. Fixed twins live in
+// profileclean_good_server.go.
+package corpus21
+
+type row []int64
+
+type sessionStreamIter struct {
+	buf  []int64
+	cols []bool
+	pos  int
+}
+
+// Next allocates the response row on every call instead of reusing the
+// iterator's buffer.
+func (s *sessionStreamIter) Next() (row, bool, error) {
+	out := make([]int64, 8) // want "allocates on every call"
+	_ = out
+	s.pos++
+	return nil, false, nil
+}
+
+// NextBatch rebuilds the projected-column mask as a literal per batch.
+func (s *sessionStreamIter) NextBatch(dst []row) (int, error) {
+	s.cols = []bool{true, true} // want "allocates on every call"
+	return 0, nil
+}

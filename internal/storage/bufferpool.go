@@ -92,18 +92,24 @@ func NewShardedBufferPool(disk *Disk, capacity, shards int) *BufferPool {
 	return bp
 }
 
-// shardFor selects the shard owning key (splitmix64-style hash so adjacent
-// pages of one file spread across shards).
+// shardFor selects the shard owning key.
 func (bp *BufferPool) shardFor(key frameKey) *poolShard {
-	if len(bp.shards) == 1 {
-		return &bp.shards[0]
+	return &bp.shards[pageShard(key, len(bp.shards))]
+}
+
+// pageShard maps a page key to one of n shards (splitmix64-style hash so
+// adjacent pages of one file spread across shards). Shared by the pool and
+// the per-query IOTracker simulation, which must agree on shard geometry.
+func pageShard(key frameKey, n int) int {
+	if n == 1 {
+		return 0
 	}
 	x := uint64(key.file)<<32 | uint64(key.page)
 	x += 0x9e3779b97f4a7c15
 	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
 	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
 	x ^= x >> 31
-	return &bp.shards[x%uint64(len(bp.shards))]
+	return int(x % uint64(n))
 }
 
 // Capacity returns the total pool size in pages.

@@ -8,11 +8,57 @@ import "fmt"
 type HeapFile struct {
 	bp   *BufferPool
 	file FileID
+	// tr, when non-nil, is the running query's private I/O simulation: every
+	// page pin and unpin this view performs is mirrored into it, charging the
+	// query for the accesses that would have missed a cold private pool. The
+	// zero value (catalog-held heap files) performs no per-query accounting;
+	// queries access tables through WithTracker views.
+	tr *IOTracker
 }
 
 // NewHeapFile creates a heap file backed by a fresh disk file.
 func NewHeapFile(bp *BufferPool) *HeapFile {
 	return &HeapFile{bp: bp, file: bp.disk.CreateFile()}
+}
+
+// WithTracker returns a view of the heap file whose page accesses are
+// additionally recorded in tr (nil returns the untracked file itself). The
+// view shares the underlying file and buffer pool; only accounting differs.
+func (h *HeapFile) WithTracker(tr *IOTracker) *HeapFile {
+	if tr == nil {
+		return h
+	}
+	v := *h
+	v.tr = tr
+	return &v
+}
+
+// fetch pins page p through the shared pool, mirroring a successful pin into
+// the query's I/O simulation.
+func (h *HeapFile) fetch(p PageID) (*Page, error) {
+	pg, err := h.bp.Fetch(h.file, p)
+	if err == nil && h.tr != nil {
+		h.tr.OnFetch(h.file, p)
+	}
+	return pg, err
+}
+
+// unpin releases one pin, mirroring it into the query's I/O simulation.
+func (h *HeapFile) unpin(p PageID, dirty bool) {
+	h.bp.Unpin(h.file, p, dirty)
+	if h.tr != nil {
+		h.tr.OnUnpin(h.file, p, dirty)
+	}
+}
+
+// newPage allocates and pins a fresh page, mirroring the (resident, dirty)
+// pin into the query's I/O simulation. The caller inherits the pin.
+func (h *HeapFile) newPage() (PageID, *Page, error) {
+	pid, pg, err := h.bp.NewPage(h.file)
+	if err == nil && h.tr != nil {
+		h.tr.OnNewPage(h.file, pid)
+	}
+	return pid, pg, err
 }
 
 // FileID returns the underlying disk file id.
@@ -29,26 +75,26 @@ func (h *HeapFile) Insert(rec []byte) (TID, error) {
 	n := h.NumPages()
 	if n > 0 {
 		last := PageID(n - 1)
-		pg, err := h.bp.Fetch(h.file, last)
+		pg, err := h.fetch(last)
 		if err != nil {
 			return TID{}, err
 		}
 		if pg.HasSpace(len(rec)) {
 			slot, err := pg.Insert(rec)
-			h.bp.Unpin(h.file, last, err == nil)
+			h.unpin(last, err == nil)
 			if err != nil {
 				return TID{}, err
 			}
 			return TID{Page: last, Slot: slot}, nil
 		}
-		h.bp.Unpin(h.file, last, false)
+		h.unpin(last, false)
 	}
-	pid, pg, err := h.bp.NewPage(h.file)
+	pid, pg, err := h.newPage()
 	if err != nil {
 		return TID{}, err
 	}
 	slot, err := pg.Insert(rec)
-	h.bp.Unpin(h.file, pid, err == nil)
+	h.unpin(pid, err == nil)
 	if err != nil {
 		return TID{}, err
 	}
@@ -57,11 +103,11 @@ func (h *HeapFile) Insert(rec []byte) (TID, error) {
 
 // Get copies the record at tid into a fresh slice.
 func (h *HeapFile) Get(tid TID) ([]byte, error) {
-	pg, err := h.bp.Fetch(h.file, tid.Page)
+	pg, err := h.fetch(tid.Page)
 	if err != nil {
 		return nil, err
 	}
-	defer h.bp.Unpin(h.file, tid.Page, false)
+	defer h.unpin(tid.Page, false)
 	rec, ok := pg.Get(tid.Slot)
 	if !ok {
 		return nil, fmt.Errorf("storage: no record at %s", tid)
@@ -76,11 +122,11 @@ func (h *HeapFile) Get(tid TID) ([]byte, error) {
 // must not be retained after fn returns. Page I/O is accounted exactly as
 // in Get (one Fetch, one Unpin).
 func (h *HeapFile) View(tid TID, fn func(rec []byte) error) error {
-	pg, err := h.bp.Fetch(h.file, tid.Page)
+	pg, err := h.fetch(tid.Page)
 	if err != nil {
 		return err
 	}
-	defer h.bp.Unpin(h.file, tid.Page, false)
+	defer h.unpin(tid.Page, false)
 	rec, ok := pg.Get(tid.Slot)
 	if !ok {
 		return fmt.Errorf("storage: no record at %s", tid)
@@ -148,7 +194,7 @@ func (it *HeapIter) NextRef() (rec []byte, tid TID, ok bool, err error) {
 				it.done = true
 				return nil, TID{}, false, nil
 			}
-			pg, ferr := it.h.bp.Fetch(it.h.file, it.page)
+			pg, ferr := it.h.fetch(it.page)
 			if ferr != nil {
 				it.done = true
 				return nil, TID{}, false, ferr
@@ -163,7 +209,7 @@ func (it *HeapIter) NextRef() (rec []byte, tid TID, ok bool, err error) {
 				return rec, TID{Page: it.curPage, Slot: s}, true, nil
 			}
 		}
-		it.h.bp.Unpin(it.h.file, it.curPage, false)
+		it.h.unpin(it.curPage, false)
 		it.cur = nil
 		it.page++
 	}
@@ -172,7 +218,7 @@ func (it *HeapIter) NextRef() (rec []byte, tid TID, ok bool, err error) {
 // Close releases the iterator's pinned page, if any.
 func (it *HeapIter) Close() {
 	if it.cur != nil {
-		it.h.bp.Unpin(it.h.file, it.curPage, false)
+		it.h.unpin(it.curPage, false)
 		it.cur = nil
 	}
 	it.done = true
@@ -181,12 +227,12 @@ func (it *HeapIter) Close() {
 // Delete marks the record at tid dead. Space is not compacted; scans skip
 // dead slots.
 func (h *HeapFile) Delete(tid TID) error {
-	pg, err := h.bp.Fetch(h.file, tid.Page)
+	pg, err := h.fetch(tid.Page)
 	if err != nil {
 		return err
 	}
 	ok := pg.Delete(tid.Slot)
-	h.bp.Unpin(h.file, tid.Page, ok)
+	h.unpin(tid.Page, ok)
 	if !ok {
 		return fmt.Errorf("storage: no record at %s", tid)
 	}

@@ -154,11 +154,21 @@ func OpenFile(path string, cfg Config) (*DB, error) {
 	// Restoration I/O is not part of any measured query.
 	inner.Disk.Accountant().Reset()
 	inner.Pool.ResetCounters()
-	scope := pcacheScope(cfg)
+	planEntries := cfg.PlanCacheSize
+	if planEntries == 0 {
+		planEntries = DefaultPlanCacheSize
+	}
 	return &DB{
-		inner: inner, caching: cfg.Caching, cacheScope: scope,
-		cacheMax: cfg.CacheMaxEntries, budget: cfg.Budget,
-		parallelism: workers,
+		inner: inner,
+		k: knobs{
+			caching: cfg.Caching, cacheScope: pcacheScope(cfg),
+			cacheMax: cfg.CacheMaxEntries, budget: cfg.Budget,
+			parallelism: workers, batchSize: cfg.BatchSize,
+			timeout: cfg.Timeout, profile: cfg.Profile,
+			transfer: cfg.Transfer, topk: cfg.TopK,
+		},
+		validate: os.Getenv("PPLINT_VALIDATE") == "1",
+		plans:    newPlanCache(planEntries),
 	}, nil
 }
 

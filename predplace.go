@@ -24,6 +24,7 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -131,12 +132,21 @@ type Config struct {
 	// cost can only shrink. Off by default — byte-identical planning and
 	// execution, with ORDER BY/LIMIT applied in the facade as before.
 	TopK bool
+	// PlanCacheSize bounds the shared LRU plan cache (0 = the
+	// DefaultPlanCacheSize of 64 entries; negative disables plan caching).
+	// Cached plans are keyed on normalized SQL, algorithm, the
+	// planning-affecting knobs, and the catalog version, so a hit is always
+	// the plan that planning would have produced.
+	PlanCacheSize int
 }
 
-// DB is an open database handle. Handles are safe for sequential use; run
-// one query at a time.
-type DB struct {
-	inner       *datagen.DB
+// knobs is the per-query execution configuration. Every statement entry
+// point (QueryContext, Prepare, PreparedStatement.Exec, Exec) copies the
+// DB's current knobs once, under the DB mutex, and runs entirely from the
+// copy — a concurrent Set* on the handle can never tear a running query's
+// configuration, and one query observes one consistent setting of every
+// knob from plan to finish.
+type knobs struct {
 	caching     bool
 	cacheScope  pcache.Scope
 	cacheMax    int
@@ -147,7 +157,25 @@ type DB struct {
 	profile     bool
 	transfer    bool
 	topk        bool
-	subSeq      atomic.Int64
+}
+
+// DB is an open database handle, safe for concurrent use: any number of
+// goroutines may run queries at once. Each query executes in its own
+// exec.Env — private I/O accounting, UDF invocation counters, and
+// predicate-cache scope — so concurrent queries' results and charged costs
+// are identical to running each alone. Knob setters (SetCaching, SetBudget,
+// …) apply to statements that begin after the call.
+type DB struct {
+	inner *datagen.DB
+	// mu guards k; see knobs.
+	mu sync.Mutex
+	k  knobs
+	// validate is the PPLINT_VALIDATE environment knob, read once at Open
+	// so the per-statement hot path never consults the process environment.
+	validate bool
+	subSeq   atomic.Int64
+	// plans is the shared LRU plan cache (nil = disabled).
+	plans *planCache
 }
 
 // Open creates a database. With Scale > 0 the paper's benchmark schema is
@@ -180,12 +208,30 @@ func Open(cfg Config) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
+	planEntries := cfg.PlanCacheSize
+	if planEntries == 0 {
+		planEntries = DefaultPlanCacheSize
+	}
 	return &DB{
-		inner: inner, caching: cfg.Caching, cacheScope: pcacheScope(cfg),
-		cacheMax: cfg.CacheMaxEntries, budget: cfg.Budget,
-		parallelism: workers, batchSize: cfg.BatchSize, timeout: cfg.Timeout,
-		profile: cfg.Profile, transfer: cfg.Transfer, topk: cfg.TopK,
+		inner: inner,
+		k: knobs{
+			caching: cfg.Caching, cacheScope: pcacheScope(cfg),
+			cacheMax: cfg.CacheMaxEntries, budget: cfg.Budget,
+			parallelism: workers, batchSize: cfg.BatchSize,
+			timeout: cfg.Timeout, profile: cfg.Profile,
+			transfer: cfg.Transfer, topk: cfg.TopK,
+		},
+		validate: os.Getenv("PPLINT_VALIDATE") == "1",
+		plans:    newPlanCache(planEntries),
 	}, nil
+}
+
+// snapshot copies the current knobs under the DB mutex; the statement runs
+// from the copy.
+func (d *DB) snapshot() knobs {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.k
 }
 
 // resolveParallelism normalizes a Config.Parallelism value: negative means
@@ -226,23 +272,44 @@ func pcacheScope(cfg Config) pcache.Scope {
 func (d *DB) Catalog() *catalog.Catalog { return d.inner.Cat }
 
 // SetCaching toggles predicate caching for subsequent queries.
-func (d *DB) SetCaching(on bool) { d.caching = on }
+func (d *DB) SetCaching(on bool) {
+	d.mu.Lock()
+	d.k.caching = on
+	d.mu.Unlock()
+}
 
 // SetBudget changes the charged-cost abort threshold (0 = unlimited).
-func (d *DB) SetBudget(b float64) { d.budget = b }
+func (d *DB) SetBudget(b float64) {
+	d.mu.Lock()
+	d.k.budget = b
+	d.mu.Unlock()
+}
 
 // SetCacheLimit bounds each predicate's cache table for subsequent queries
 // (0 = unbounded).
-func (d *DB) SetCacheLimit(n int) { d.cacheMax = n }
+func (d *DB) SetCacheLimit(n int) {
+	d.mu.Lock()
+	d.k.cacheMax = n
+	d.mu.Unlock()
+}
 
 // SetParallelism changes the intra-query worker fan-out for subsequent
 // queries (1 = serial; < 0 = GOMAXPROCS). The buffer pool keeps the shard
 // layout it was opened with, so toggling parallelism on one handle compares
 // executors over identical storage.
-func (d *DB) SetParallelism(p int) { d.parallelism = resolveParallelism(p) }
+func (d *DB) SetParallelism(p int) {
+	w := resolveParallelism(p)
+	d.mu.Lock()
+	d.k.parallelism = w
+	d.mu.Unlock()
+}
 
 // Parallelism reports the current worker fan-out.
-func (d *DB) Parallelism() int { return d.parallelism }
+func (d *DB) Parallelism() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.k.parallelism
+}
 
 // DefaultBatchSize is the batch width used when Config.BatchSize is 0.
 const DefaultBatchSize = exec.DefaultBatchSize
@@ -250,36 +317,72 @@ const DefaultBatchSize = exec.DefaultBatchSize
 // SetBatchSize changes the executor's batch width for subsequent queries
 // (0 = tuned default, 1 = legacy tuple-at-a-time, > 1 = that many rows per
 // batch). Results and charged cost are identical at every setting.
-func (d *DB) SetBatchSize(n int) { d.batchSize = n }
+func (d *DB) SetBatchSize(n int) {
+	d.mu.Lock()
+	d.k.batchSize = n
+	d.mu.Unlock()
+}
 
 // BatchSize reports the configured batch width (0 = tuned default).
-func (d *DB) BatchSize() int { return d.batchSize }
+func (d *DB) BatchSize() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.k.batchSize
+}
 
 // SetTimeout bounds each subsequent query's wall-clock time (0 = none).
-func (d *DB) SetTimeout(t time.Duration) { d.timeout = t }
+func (d *DB) SetTimeout(t time.Duration) {
+	d.mu.Lock()
+	d.k.timeout = t
+	d.mu.Unlock()
+}
 
 // SetProfile toggles per-operator runtime profiling for subsequent queries
 // (see Config.Profile). Profiling never changes results or charged cost.
-func (d *DB) SetProfile(on bool) { d.profile = on }
+func (d *DB) SetProfile(on bool) {
+	d.mu.Lock()
+	d.k.profile = on
+	d.mu.Unlock()
+}
 
 // Profiling reports whether per-operator profiling is currently enabled.
-func (d *DB) Profiling() bool { return d.profile }
+func (d *DB) Profiling() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.k.profile
+}
 
 // SetTransfer toggles predicate transfer for subsequent queries (see
 // Config.Transfer). Transfer never changes results — only which rows reach
 // the join operators and what the query charges for getting them there.
-func (d *DB) SetTransfer(on bool) { d.transfer = on }
+func (d *DB) SetTransfer(on bool) {
+	d.mu.Lock()
+	d.k.transfer = on
+	d.mu.Unlock()
+}
 
 // Transfer reports whether predicate transfer is currently enabled.
-func (d *DB) Transfer() bool { return d.transfer }
+func (d *DB) Transfer() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.k.transfer
+}
 
 // SetTopK toggles top-k-aware execution for subsequent queries (see
 // Config.TopK). Top-k planning never changes results — only how much of the
 // pre-LIMIT input is materialized, sorted, and paid for.
-func (d *DB) SetTopK(on bool) { d.topk = on }
+func (d *DB) SetTopK(on bool) {
+	d.mu.Lock()
+	d.k.topk = on
+	d.mu.Unlock()
+}
 
 // TopK reports whether top-k-aware execution is currently enabled.
-func (d *DB) TopK() bool { return d.topk }
+func (d *DB) TopK() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.k.topk
+}
 
 // FaultConfig configures the deterministic storage fault injector; see
 // SetFaults.
@@ -414,6 +517,7 @@ func (d *DB) Insert(table string, values ...interface{}) error {
 		}
 	}
 	tab.Card++
+	d.inner.Cat.BumpVersion()
 	return nil
 }
 
@@ -424,6 +528,7 @@ func (d *DB) Analyze(table string) error {
 		return err
 	}
 	d.inner.Disk.Accountant().Reset()
+	d.inner.Cat.BumpVersion()
 	return nil
 }
 
@@ -509,10 +614,84 @@ func (d *DB) Query(sql string, algo Algorithm) (*Result, error) {
 // so errors.Is(err, context.Canceled) / context.DeadlineExceeded hold. A
 // configured Timeout applies on top of ctx.
 func (d *DB) QueryContext(ctx context.Context, sql string, algo Algorithm) (*Result, error) {
-	root, bound, info, err := d.plan(sql, algo)
+	k := d.snapshot()
+	p, err := d.prepare(sql, algo, k)
 	if err != nil {
 		return nil, err
 	}
+	return d.execPrepared(ctx, p, k)
+}
+
+// PreparedStatement is a statement that has been parsed, bound, and
+// optimized once, ready to execute any number of times without repeating
+// that work. The plan tree is immutable; every execution builds its own
+// execution environment, so one PreparedStatement may be executed from many
+// goroutines concurrently. The plan is fixed at Prepare time: schema or
+// statistics changes after Prepare do not re-plan it (Query/QueryContext,
+// whose cache is catalog-versioned, pick up such changes automatically).
+type PreparedStatement struct {
+	db    *DB
+	sql   string
+	algo  Algorithm
+	root  plan.Node
+	bound *sqlparse.Bound
+	info  *optimizer.Info
+}
+
+// Prepare parses, binds, and optimizes sql under the given algorithm,
+// consulting the shared plan cache. The planning-affecting knobs (caching,
+// transfer, top-k) are snapshotted at this call.
+func (d *DB) Prepare(sql string, algo Algorithm) (*PreparedStatement, error) {
+	return d.prepare(sql, algo, d.snapshot())
+}
+
+// SQL returns the statement's original text.
+func (p *PreparedStatement) SQL() string { return p.sql }
+
+// Plan renders the prepared plan tree.
+func (p *PreparedStatement) Plan() string { return plan.Render(p.root) }
+
+// Exec executes the prepared statement; execution knobs (budget,
+// parallelism, batching, timeout, profiling) are snapshotted per call.
+func (p *PreparedStatement) Exec() (*Result, error) {
+	return p.ExecContext(context.Background())
+}
+
+// ExecContext is Exec with a context; see DB.QueryContext for the
+// cancellation contract.
+func (p *PreparedStatement) ExecContext(ctx context.Context) (*Result, error) {
+	return p.db.execPrepared(ctx, p, p.db.snapshot())
+}
+
+// prepare resolves sql to a prepared statement: a plan-cache hit reuses the
+// cached plan outright; a miss runs parse/bind/optimize and publishes the
+// result for the next caller.
+func (d *DB) prepare(sql string, algo Algorithm, k knobs) (*PreparedStatement, error) {
+	key := planKey{
+		sql: normalizeSQL(sql), algo: algo,
+		caching: k.caching, transfer: k.transfer, topk: k.topk,
+		catVer: d.inner.Cat.Version(),
+	}
+	if d.plans != nil {
+		if e, ok := d.plans.get(key); ok {
+			return &PreparedStatement{db: d, sql: sql, algo: algo,
+				root: e.root, bound: e.bound, info: e.info}, nil
+		}
+	}
+	root, bound, info, err := d.plan(sql, algo, k)
+	if err != nil {
+		return nil, err
+	}
+	if d.plans != nil {
+		d.plans.put(&planEntry{key: key, root: root, bound: bound, info: info})
+	}
+	return &PreparedStatement{db: d, sql: sql, algo: algo,
+		root: root, bound: bound, info: info}, nil
+}
+
+// execPrepared executes a prepared statement under the knob snapshot k.
+func (d *DB) execPrepared(ctx context.Context, p *PreparedStatement, k knobs) (*Result, error) {
+	root, bound, info := p.root, p.bound, p.info
 	// EstCost comes from the planner's Info, not the root node: with
 	// transfer on it includes the prepass's estimated cost (identical to
 	// root.Cost() otherwise).
@@ -525,14 +704,14 @@ func (d *DB) QueryContext(ctx context.Context, sql string, algo Algorithm) (*Res
 		res.Explained = true
 		return res, nil
 	}
-	ctx, cancel := d.execCtx(ctx)
+	ctx, cancel := execCtx(ctx, k.timeout)
 	defer cancel()
-	env := d.newEnv(ctx)
+	env := d.newEnv(ctx, k)
 	// EXPLAIN ANALYZE always profiles its statement: the profile is the
 	// point of the command, and every plan node then has an actual row
 	// count (probe-driven inner chains and never-reached subtrees
 	// included), so "actual=n/a" cannot appear.
-	env.Profile = d.profile || bound.Explain
+	env.Profile = k.profile || bound.Explain
 	out, err := exec.Run(env, root)
 	if err != nil {
 		return nil, err
@@ -727,39 +906,40 @@ func finishResult(bound *sqlparse.Bound, res *Result, topkPlanned bool) error {
 
 // Explain returns the plan chosen by the given algorithm without executing.
 func (d *DB) Explain(sql string, algo Algorithm) (string, error) {
-	root, _, _, err := d.plan(sql, algo)
+	p, err := d.prepare(sql, algo, d.snapshot())
 	if err != nil {
 		return "", err
 	}
-	return plan.Render(root), nil
+	return plan.Render(p.root), nil
 }
 
-// execCtx layers the configured per-query timeout onto ctx; the returned
-// cancel function must be called when the query finishes (it is a release,
-// not an abort, once the query is done).
-func (d *DB) execCtx(ctx context.Context) (context.Context, context.CancelFunc) {
-	if d.timeout > 0 {
-		return context.WithTimeout(ctx, d.timeout)
+// execCtx layers a per-query timeout onto ctx; the returned cancel function
+// must be called when the query finishes (it is a release, not an abort,
+// once the query is done).
+func execCtx(ctx context.Context, timeout time.Duration) (context.Context, context.CancelFunc) {
+	if timeout > 0 {
+		return context.WithTimeout(ctx, timeout)
 	}
 	return ctx, func() {}
 }
 
-// newEnv builds a fresh execution environment bound to ctx.
-func (d *DB) newEnv(ctx context.Context) *exec.Env {
+// newEnv builds a fresh execution environment bound to ctx, configured
+// entirely from the knob snapshot k.
+func (d *DB) newEnv(ctx context.Context, k knobs) *exec.Env {
 	return &exec.Env{
 		Ctx:         ctx,
 		Cat:         d.inner.Cat,
 		Pool:        d.inner.Pool,
-		Acct:        d.inner.Disk.Accountant(),
-		Cache:       pcache.NewManagerScoped(d.caching, d.cacheMax, d.cacheScope),
-		Budget:      d.budget,
-		Parallelism: d.parallelism,
-		BatchSize:   d.batchSize,
-		Transfer:    d.transfer,
+		Cache:       pcache.NewManagerScoped(k.caching, k.cacheMax, k.cacheScope),
+		Budget:      k.budget,
+		Parallelism: k.parallelism,
+		BatchSize:   k.batchSize,
+		Validate:    d.validate,
+		Transfer:    k.transfer,
 	}
 }
 
-func (d *DB) plan(sql string, algo Algorithm) (plan.Node, *sqlparse.Bound, *optimizer.Info, error) {
+func (d *DB) plan(sql string, algo Algorithm, k knobs) (plan.Node, *sqlparse.Bound, *optimizer.Info, error) {
 	stmt, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, nil, nil, err
@@ -770,17 +950,17 @@ func (d *DB) plan(sql string, algo Algorithm) (plan.Node, *sqlparse.Bound, *opti
 		return nil, nil, nil, err
 	}
 	opt := optimizer.New(d.inner.Cat, optimizer.Options{
-		Algorithm: algo, Caching: d.caching, Transfer: d.transfer,
-		TopK: d.topkSpec(bound),
+		Algorithm: algo, Caching: k.caching, Transfer: k.transfer,
+		TopK: topkSpec(bound, k.topk),
 	})
 	root, info, err := opt.Plan(bound.Query)
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	// With PPLINT_VALIDATE=1 every planned tree — whether it is about to be
-	// executed, explained, or compared — is held to plan.Validate's
-	// invariants before leaving the planner.
-	if os.Getenv("PPLINT_VALIDATE") == "1" {
+	// With PPLINT_VALIDATE=1 (snapshotted at Open) every planned tree —
+	// whether it is about to be executed, explained, or compared — is held
+	// to plan.Validate's invariants before leaving the planner.
+	if d.validate {
 		if err := plan.Validate(root); err != nil {
 			return nil, nil, nil, fmt.Errorf("predplace: %s produced an invalid plan: %w", algo, err)
 		}
@@ -794,8 +974,8 @@ func (d *DB) plan(sql string, algo Algorithm) (plan.Node, *sqlparse.Bound, *opti
 // LIMIT, it is a COUNT(*) (the aggregate consumes every row; nothing to
 // bound), or the ORDER BY column is not among the projected columns (the
 // facade rejects that query, and the rejection must survive the knob).
-func (d *DB) topkSpec(bound *sqlparse.Bound) *optimizer.TopKSpec {
-	if !d.topk || bound.CountStar || bound.OrderBy == nil || bound.Limit < 1 {
+func topkSpec(bound *sqlparse.Bound, topk bool) *optimizer.TopKSpec {
+	if !topk || bound.CountStar || bound.OrderBy == nil || bound.Limit < 1 {
 		return nil
 	}
 	spec := &optimizer.TopKSpec{Key: *bound.OrderBy, Desc: bound.Desc, K: bound.Limit}
@@ -902,16 +1082,16 @@ func (d *DB) compileSubquery(sub *sqlparse.SelectStmt, not bool, args []query.Co
 		Cacheable:   true,
 		RealWork:    true,
 	}
-	f.EvalErr = func(vals []expr.Value) (expr.Value, error) {
+	f.EvalIO = func(tr *storage.IOTracker, vals []expr.Value) (expr.Value, error) {
 		if vals[0].IsNull() {
 			return expr.Null, nil
 		}
-		// The scan reads through the shared buffer pool, so the subquery's
-		// page traffic is charged to the running query's accountant. A scan
-		// or decode failure propagates instead of folding into a truth value
-		// — under injected faults a silently-wrong answer would be worse
-		// than the fault itself.
-		it := tab.Heap.Scan()
+		// The scan reads through the shared buffer pool; the executor passes
+		// the running query's I/O tracker, so the subquery's page traffic is
+		// charged to that query alone. A scan or decode failure propagates
+		// instead of folding into a truth value — under injected faults a
+		// silently-wrong answer would be worse than the fault itself.
+		it := tab.Heap.WithTracker(tr).Scan()
 		defer it.Close()
 		for {
 			rec, _, ok, err := it.Next()
@@ -1091,9 +1271,10 @@ func (d *DB) Exec(sql string) (int, error) {
 	preds := append([]*query.Predicate(nil), q.Preds...)
 	sortPredsByRank(preds)
 
-	ctx, cancel := d.execCtx(context.Background())
+	k := d.snapshot()
+	ctx, cancel := execCtx(context.Background(), k.timeout)
 	defer cancel()
-	env := d.newEnv(ctx)
+	env := d.newEnv(ctx, k)
 	tids, err := exec.MatchingTIDs(env, del.Table, preds)
 	if err != nil {
 		return 0, err
@@ -1117,6 +1298,9 @@ func (d *DB) Exec(sql string) (int, error) {
 		}
 	}
 	tab.Card -= int64(len(tids))
+	if len(tids) > 0 {
+		d.inner.Cat.BumpVersion()
+	}
 	return len(tids), nil
 }
 

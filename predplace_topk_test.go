@@ -179,6 +179,11 @@ func TestFaultTopKMidFill(t *testing.T) {
 		"SELECT * FROM t1 WHERE costly10(t1.u10) ORDER BY t1.ua1 LIMIT 5", // heap
 		"SELECT * FROM t1 WHERE costly10(t1.u10) ORDER BY t1.a1 LIMIT 5",  // ordered
 	} {
+		// Cold pool before every run: faults fire on physical reads, and
+		// query entry no longer flushes the shared pool.
+		if err := db.EvictPool(); err != nil {
+			t.Fatal(err)
+		}
 		db.SetFaults(&predplace.FaultConfig{}) // count-only: no injection
 		base, err := db.Query(sql, predplace.Migration)
 		if err != nil {
@@ -196,6 +201,9 @@ func TestFaultTopKMidFill(t *testing.T) {
 			db.SetParallelism(p)
 			for n := int64(1); n <= reads; n++ {
 				audit := harness.StartLeakAudit()
+				if err := db.EvictPool(); err != nil {
+					t.Fatal(err)
+				}
 				db.SetFaults(&predplace.FaultConfig{FailReadN: n})
 				res, err := db.Query(sql, predplace.Migration)
 				db.SetFaults(nil)
