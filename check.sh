@@ -77,4 +77,13 @@ echo "==> multi-session server gate (ppbench -server)"
 # wrong.
 go run ./cmd/ppbench -server -sessions 1,2,4,8 -iters 3 -json -scale 0.02
 
+echo "==> estimate-error/feedback gate (ppbench -feedback)"
+# Sweeps injected estimate error (e in {1,2,4,8}, both directions) over a
+# join-order-sensitive query under PushDown/Migration/Robust with feedback
+# off, then closes the loop with feedback on; exits nonzero if any result
+# multiset diverges, the algorithms disagree at e=1, Robust's worst-case
+# charged cost loses at e>=4, or the feedback rerun fails to repair the
+# misestimate in one refresh.
+go run ./cmd/ppbench -feedback -json -scale 0.02
+
 echo "OK"

@@ -11,6 +11,7 @@
 //	ppbench -profile [-iters N] [-json] [-scale 0.1]
 //	ppbench -transfer [-workers N] [-iters N] [-json] [-scale 0.1]
 //	ppbench -topk [-workers N] [-iters N] [-json] [-scale 0.1]
+//	ppbench -feedback [-json] [-scale 0.1]
 //	ppbench -server [-sessions 1,2,4,8] [-iters N] [-json] [-scale 0.1]
 //
 // Measurements are charged costs in random-I/O units (page I/Os plus
@@ -69,6 +70,16 @@
 // every configuration, and the ordered-index flagship at k=10 must cut the
 // charged cost at least 2× — the limit has to reach the scan, not just the
 // sort. -json writes BENCH_topk.json.
+//
+// With -feedback, a zero-cost stub predicate with a fixed true selectivity is
+// re-registered with declared selectivities wrong by factors e ∈ {1, 2, 4, 8}
+// in both directions, and PushDown, Migration, and Robust run the same join
+// query under each misdeclaration. Results must be identical everywhere; at
+// e=1 all three algorithms' charged costs must agree, and at e ≥ 4 Robust's
+// worst-case charged cost must beat both point-estimate algorithms. A final
+// leg runs the worst misdeclaration twice with feedback-driven statistics on:
+// the harvested observation must be promoted and the re-planned second run
+// must charge no more than the first. -json writes BENCH_feedback.json.
 package main
 
 import (
@@ -95,6 +106,7 @@ func main() {
 	profile := flag.Bool("profile", false, "run the per-operator profiling bench instead of the figures")
 	transfer := flag.Bool("transfer", false, "run the predicate-transfer off-vs-on bench instead of the figures")
 	topk := flag.Bool("topk", false, "run the top-k-execution off-vs-on bench instead of the figures")
+	feedback := flag.Bool("feedback", false, "run the estimate-error/feedback bench instead of the figures")
 	server := flag.Bool("server", false, "run the multi-session server bench instead of the figures")
 	sessions := flag.String("sessions", "1,2,4,8", "with -server, comma-separated session counts to sweep")
 	seeds := flag.Int("seeds", 3, "with -faults, fault sites tried per query")
@@ -125,6 +137,11 @@ func main() {
 
 	if *topk {
 		runTopKBench(*scale, resolveWorkers(*workers), *iters, *jsonOut)
+		return
+	}
+
+	if *feedback {
+		runFeedbackBench(*scale, *jsonOut)
 		return
 	}
 
@@ -386,6 +403,35 @@ func runTopKBench(scale float64, workers, iters int, jsonOut bool) {
 	}
 	if !bench.Pass {
 		fmt.Fprintln(os.Stderr, "ppbench: top-k execution changed a result set or missed the 2x flagship reduction")
+		os.Exit(1)
+	}
+}
+
+// runFeedbackBench executes the estimate-error sweep plus the closed
+// feedback loop and exits nonzero when any criterion fails.
+func runFeedbackBench(scale float64, jsonOut bool) {
+	fmt.Fprintf(os.Stderr, "building benchmark database at scale %.3f…\n", scale)
+	h, err := harness.New(scale)
+	if err != nil {
+		fatal(err)
+	}
+	bench, err := h.RunFeedbackBench()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(bench)
+	if jsonOut {
+		data, err := bench.JSON()
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile("BENCH_feedback.json", append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "wrote BENCH_feedback.json")
+	}
+	if !bench.Pass {
+		fmt.Fprintln(os.Stderr, "ppbench: estimate-error/feedback bench failed a criterion")
 		os.Exit(1)
 	}
 }

@@ -2,10 +2,11 @@
 // Statements are optimized with Predicate Migration by default; meta
 // commands switch algorithms and toggle predicate caching:
 //
-//	\algo pushdown|pullup|pullrank|migration|ldl|ldl-ikkbz|exhaustive|naive
+//	\algo pushdown|pullup|pullrank|migration|ldl|ldl-ikkbz|exhaustive|robust|naive
 //	\caching on|off
 //	\transfer on|off
 //	\topk on|off
+//	\feedback on|off
 //	\tables   \funcs   \help   \q
 //
 // Prefix a query with EXPLAIN to see its plan without running it, or with
@@ -29,10 +30,11 @@ func main() {
 	profile := flag.Bool("profile", false, "profile every query and print the per-operator tree as JSON")
 	transfer := flag.Bool("transfer", false, "start with predicate transfer (Bloom pre-filtering) enabled")
 	topk := flag.Bool("topk", false, "start with top-k execution (bounded-heap ORDER BY/LIMIT) enabled")
+	feedback := flag.Bool("feedback", false, "start with feedback-driven statistics enabled")
 	flag.Parse()
 
 	fmt.Fprintf(os.Stderr, "loading benchmark database at scale %.3f…\n", *scale)
-	db, err := predplace.Open(predplace.Config{Scale: *scale, Caching: *caching, Timeout: *timeout, Profile: *profile, Transfer: *transfer, TopK: *topk})
+	db, err := predplace.Open(predplace.Config{Scale: *scale, Caching: *caching, Timeout: *timeout, Profile: *profile, Transfer: *transfer, TopK: *topk, Feedback: *feedback})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ppsql:", err)
 		os.Exit(1)

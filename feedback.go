@@ -1,0 +1,118 @@
+package predplace
+
+// Feedback harvesting: with Config.Feedback on, every successful query's
+// per-operator profile is walked in lockstep with its plan tree, and each
+// predicate's observed selectivity — plus each real-work function's measured
+// per-invocation cost — is recorded into the catalog's feedback store. The
+// facade then promotes the batch (catalog.ApplyFeedback) when any pending
+// observation's error factor exceeds the configured threshold, so subsequent
+// planning runs against the corrected statistics. Harvesting is strictly
+// observational: it reads the finished query's profile and never touches its
+// results or charged cost.
+
+import (
+	"predplace/internal/catalog"
+	"predplace/internal/exec"
+	"predplace/internal/plan"
+	"predplace/internal/query"
+)
+
+// harvestFeedback walks plan and profile trees in lockstep (the profile
+// mirrors the plan node for node) and records every observable predicate
+// selectivity into the store.
+func harvestFeedback(fb *catalog.FeedbackStore, n plan.Node, p *exec.OpProfile) {
+	if fb == nil || p == nil {
+		return
+	}
+	children := n.Children()
+	if len(children) == len(p.Children) {
+		for i, c := range children {
+			harvestFeedback(fb, c, p.Children[i])
+		}
+	}
+	switch node := n.(type) {
+	case *plan.Filter:
+		harvestFilter(fb, node, p)
+	case *plan.Join:
+		harvestJoin(fb, node, p)
+	}
+}
+
+// harvestFilter records a filter's observed selectivity: rows out over rows
+// in. A filter that saw no input contributes nothing — 0/0 is the absence of
+// an observation, not a selectivity.
+//
+// Only filters sitting directly on a base scan are harvested. Higher up —
+// above sibling selections or joins — a filter's pass rate is conditional on
+// everything below it (correlated predicates, join multiplicities), while the
+// promoted override is applied as the predicate's unconditional selectivity
+// wherever the next plan places it. Promoting a conditional observation as an
+// unconditional truth is how a feedback loop poisons itself.
+func harvestFilter(fb *catalog.FeedbackStore, f *plan.Filter, p *exec.OpProfile) {
+	switch f.Input.(type) {
+	case *plan.SeqScan, *plan.IndexScan:
+	default:
+		return
+	}
+	if p.RowsIn <= 0 {
+		return
+	}
+	obs := float64(p.ActRows) / float64(p.RowsIn)
+	pred := f.Pred
+	if pred.Kind == query.KindFunc && pred.Func != nil {
+		fn := pred.Func
+		// Real-work functions (subquery predicates) do metered I/O per call;
+		// the node's own attributed I/O over its invocation count measures the
+		// per-call cost the optimizer only estimated. Declared-cost stubs have
+		// nothing to measure — their charge is invocations × declared cost by
+		// definition.
+		ownCost, hasCost := 0.0, false
+		if fn.RealWork && p.Invocations > 0 {
+			var childIO int64
+			for _, c := range p.Children {
+				childIO += c.IO.Total()
+			}
+			if own := p.IO.Total() - childIO; own >= 0 {
+				ownCost = float64(own) / float64(p.Invocations)
+				hasCost = true
+			}
+		}
+		fb.ObserveFunc(fn.Name, pred.Selectivity, obs, fn.Cost, ownCost, hasCost)
+		return
+	}
+	fb.Observe(pred.String(), pred.Selectivity, obs)
+}
+
+// harvestJoin records the primary join predicate's observed selectivity:
+// output rows over candidate pairs. Only join methods whose profiles expose
+// the pair count contribute — an index nested loop's inner probes see only
+// the matching keys, so its ratio is not the predicate's selectivity.
+func harvestJoin(fb *catalog.FeedbackStore, j *plan.Join, p *exec.OpProfile) {
+	if j.Primary == nil || len(p.Children) != 2 {
+		return
+	}
+	outer, inner := p.Children[0], p.Children[1]
+	var pairs float64
+	switch j.Method {
+	case plan.HashJoin, plan.MergeJoin:
+		pairs = float64(outer.ActRows) * float64(inner.ActRows)
+	case plan.NestLoop:
+		// The inner profile's ActRows accumulates across rescans, so it
+		// already is outer rows × inner rows per scan — the pair count.
+		pairs = float64(inner.ActRows)
+	default:
+		return
+	}
+	if pairs <= 0 {
+		return
+	}
+	obs := float64(p.ActRows) / pairs
+	pred := j.Primary
+	if pred.Kind == query.KindFunc && pred.Func != nil {
+		// A function join predicate's per-pair cost is charged, not metered;
+		// only its selectivity is observable here.
+		fb.ObserveFunc(pred.Func.Name, pred.Selectivity, obs, pred.Func.Cost, 0, false)
+		return
+	}
+	fb.Observe(pred.String(), pred.Selectivity, obs)
+}

@@ -95,12 +95,17 @@ type Catalog struct {
 	tables map[string]*Table
 	funcs  map[string]*expr.FuncDef
 	// version counts schema- and statistics-affecting changes (table
-	// creation, data modification, ANALYZE). Cached query plans embed the
-	// version they were planned against and are invalidated when it moves.
-	// Function registration deliberately does NOT bump it: binding an
-	// IN-subquery registers a function as a side effect, and bumping here
-	// would make every subquery-bearing plan evict itself from the cache.
+	// creation, data modification, ANALYZE, feedback promotion, and
+	// re-registration of an existing function with new metadata). Cached
+	// query plans embed the version they were planned against and are
+	// invalidated when it moves. First-time function registration
+	// deliberately does NOT bump it: binding an IN-subquery registers a
+	// (uniquely named) function as a side effect, and bumping there would
+	// make every subquery-bearing plan evict itself from the cache.
 	version atomic.Int64
+	// fb accumulates observed selectivities and measured costs between
+	// feedback promotions; see feedback.go.
+	fb *FeedbackStore
 }
 
 // New creates an empty catalog.
@@ -108,6 +113,7 @@ func New() *Catalog {
 	return &Catalog{
 		tables: make(map[string]*Table),
 		funcs:  make(map[string]*expr.FuncDef),
+		fb:     newFeedbackStore(),
 	}
 }
 
@@ -158,14 +164,20 @@ func (c *Catalog) Tables() []*Table {
 	return out
 }
 
-// RegisterFunc adds a user-defined function to the metadata.
+// RegisterFunc adds a user-defined function to the metadata. Re-registering
+// an existing name replaces its definition and bumps the catalog version:
+// plans placed with the old cost/selectivity metadata are stale, and a
+// version-keyed plan cache must not keep serving them. First registrations
+// do not bump — subquery binding registers a uniquely named function per
+// statement, and bumping there would evict every subquery-bearing plan.
 func (c *Catalog) RegisterFunc(f *expr.FuncDef) error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, dup := c.funcs[f.Name]; dup {
-		return fmt.Errorf("catalog: function %s already registered", f.Name)
-	}
+	_, replaced := c.funcs[f.Name]
 	c.funcs[f.Name] = f
+	c.mu.Unlock()
+	if replaced {
+		c.version.Add(1)
+	}
 	return nil
 }
 

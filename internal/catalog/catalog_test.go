@@ -73,13 +73,23 @@ func TestFuncRegistry(t *testing.T) {
 	if err := c.RegisterFunc(f); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.RegisterFunc(f); err == nil {
-		t.Fatal("duplicate function should fail")
+	if c.Version() != 0 {
+		t.Fatal("first registration must not bump the version")
+	}
+	// Re-registration replaces the definition and bumps the version: plans
+	// placed with the old metadata are stale.
+	f2 := expr.NewCostly("costly10", 1, 10, 0.25, 1)
+	if err := c.RegisterFunc(f2); err != nil {
+		t.Fatalf("re-registration: %v", err)
+	}
+	if c.Version() != 1 {
+		t.Fatalf("re-registration must bump the version, got %d", c.Version())
 	}
 	got, err := c.Func("costly10")
-	if err != nil || got != f {
-		t.Fatal("Func lookup failed")
+	if err != nil || got != f2 {
+		t.Fatal("Func lookup should return the replacement")
 	}
+	f = f2
 	if _, err := c.Func("nope"); err == nil {
 		t.Fatal("missing function should error")
 	}

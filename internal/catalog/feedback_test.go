@@ -1,0 +1,130 @@
+package catalog
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"predplace/internal/expr"
+)
+
+func TestErrFactorZeroHandling(t *testing.T) {
+	// The re-optimize decision compares error factors against a threshold;
+	// a zero estimate (or observation) must yield the finite cap, never
+	// ±Inf or NaN, and a correctly-zero estimate is a perfect 1.
+	cases := []struct {
+		est, obs, want float64
+	}{
+		{0, 0, 1},
+		{-1, 0, 1}, // negative garbage treated as zero
+		{0, 0.5, FeedbackErrCap},
+		{0.5, 0, FeedbackErrCap},
+		{1e-300, 1, FeedbackErrCap}, // beyond the cap: capped, not overflowed
+		{0.1, 0.1, 1},
+		{0.1, 0.4, 4},
+		{0.4, 0.1, 4},
+		{math.NaN(), 0.5, FeedbackErrCap}, // NaN compares false with ≤0 paths? see below
+	}
+	for _, c := range cases {
+		got := ErrFactor(c.est, c.obs)
+		if math.IsInf(got, 0) || math.IsNaN(got) {
+			t.Fatalf("ErrFactor(%v, %v) = %v: not finite", c.est, c.obs, got)
+		}
+		if math.IsNaN(c.est) {
+			// NaN input: any finite answer ≥ 1 is acceptable; the invariant
+			// is finiteness, pinned above.
+			continue
+		}
+		if math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("ErrFactor(%v, %v) = %v, want %v", c.est, c.obs, got, c.want)
+		}
+	}
+}
+
+func TestFeedbackStoreZeroEstimateStaysFinite(t *testing.T) {
+	s := newFeedbackStore()
+	// A predicate estimated at 0 selectivity that matched rows anyway: the
+	// classic unbounded-error case.
+	s.Observe("t1.u10 = 7", 0, 0.3)
+	s.ObserveFunc("f", 0, 0.25, 0, 0, false)
+	if worst := s.MaxPendingErr(); math.IsInf(worst, 0) || math.IsNaN(worst) {
+		t.Fatalf("MaxPendingErr = %v: not finite", worst)
+	} else if worst != FeedbackErrCap {
+		t.Fatalf("MaxPendingErr = %v, want the cap %v", worst, FeedbackErrCap)
+	}
+	// The stats — and therefore the JSON surface — must marshal cleanly:
+	// encoding/json rejects ±Inf and NaN.
+	st := s.Stats()
+	if _, err := json.Marshal(st); err != nil {
+		t.Fatalf("stats with capped errors must marshal: %v", err)
+	}
+	if st.Observations != 2 || st.PendingPreds != 1 || st.PendingFuncs != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestFeedbackApplyPromotesAndBumpsOnce(t *testing.T) {
+	c := New()
+	if err := c.RegisterFunc(expr.NewCostly("fx", 1, 10, 0.5, 7)); err != nil {
+		t.Fatal(err)
+	}
+	v0 := c.Version()
+	fb := c.Feedback()
+	fb.Observe("t1.u10 < 3", 0.3, 0.06)
+	fb.Observe("t1.u10 < 3", 0.3, 0.10) // second run folds into the mean
+	fb.ObserveFunc("fx", 0.5, 0.125, 10, 0, false)
+	if n := c.ApplyFeedback(); n != 2 {
+		t.Fatalf("applied %d entries, want 2", n)
+	}
+	if c.Version() != v0+1 {
+		t.Fatalf("ApplyFeedback must bump the version exactly once, got %d bumps", c.Version()-v0)
+	}
+	if sel, ok := fb.AppliedSel("t1.u10 < 3"); !ok || math.Abs(sel-0.08) > 1e-12 {
+		t.Fatalf("applied selectivity = %v, %v; want mean 0.08", sel, ok)
+	}
+	f, err := c.Func("fx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Selectivity != 0.125 {
+		t.Fatalf("refreshed selectivity = %v, want 0.125", f.Selectivity)
+	}
+	if f.Cost != 10 {
+		t.Fatalf("declared-cost stub's cost must survive refresh, got %v", f.Cost)
+	}
+	// An empty apply is a no-op: no version churn, no refresh counted.
+	if n := c.ApplyFeedback(); n != 0 {
+		t.Fatalf("empty apply promoted %d entries", n)
+	}
+	if c.Version() != v0+1 {
+		t.Fatal("empty apply must not bump the version")
+	}
+	if st := fb.Stats(); st.Refreshes != 1 || st.AppliedPreds != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestFeedbackRefreshRealWorkCost(t *testing.T) {
+	c := New()
+	if err := c.RegisterFunc(&expr.FuncDef{
+		Name: "rw", Arity: 1, Cost: 100, Selectivity: 0.5,
+		Cacheable: true, RealWork: true,
+		EvalErr: func(args []expr.Value) (expr.Value, error) { return expr.B(true), nil },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c.Feedback().ObserveFunc("rw", 0.5, 0.9, 100, 12.5, true)
+	if n := c.ApplyFeedback(); n != 1 {
+		t.Fatalf("applied %d", n)
+	}
+	f, err := c.Func("rw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Cost != 12.5 || f.Selectivity != 0.9 {
+		t.Fatalf("real-work refresh: cost=%v sel=%v, want 12.5/0.9", f.Cost, f.Selectivity)
+	}
+	if !f.RealWork || !f.Cacheable || f.EvalErr == nil {
+		t.Fatal("refresh must preserve evaluation fields and flags")
+	}
+}

@@ -2,6 +2,7 @@ package catalog
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -109,8 +110,19 @@ func (h *Histogram) SelLT(v int64) float64 {
 	return 1
 }
 
-// SelLE estimates the fraction of values ≤ v.
-func (h *Histogram) SelLE(v int64) float64 { return h.SelLT(v + 1) }
+// SelLE estimates the fraction of values ≤ v. For integer columns x ≤ v is
+// x < v+1 — except at v = MaxInt64, where v+1 would wrap to MinInt64 and a
+// predicate every row satisfies would estimate selectivity 0 (and, through
+// SelGT's complement, x > MaxInt64 would estimate 1).
+func (h *Histogram) SelLE(v int64) float64 {
+	if h == nil || h.Total == 0 {
+		return 1.0 / 3.0
+	}
+	if v == math.MaxInt64 {
+		return 1
+	}
+	return h.SelLT(v + 1)
+}
 
 // SelGT estimates the fraction of values > v.
 func (h *Histogram) SelGT(v int64) float64 { return 1 - h.SelLE(v) }

@@ -112,6 +112,68 @@ func TestHistogramMonotoneQuick(t *testing.T) {
 	}
 }
 
+func TestHistogramInt64Extremes(t *testing.T) {
+	// SelLE(v) is implemented as SelLT(v+1); at v = MaxInt64 the increment
+	// would wrap to MinInt64 and report 0 for a predicate every row satisfies
+	// (and SelGT(MaxInt64), its complement, would report 1). Pin all four
+	// estimators at both int64 extremes.
+	values := []int64{-5, 0, 3, 3, 7, 100}
+	h := BuildHistogram(values, 4)
+	max, min := int64(math.MaxInt64), int64(math.MinInt64)
+
+	if got := h.SelLE(max); got != 1 {
+		t.Errorf("SelLE(MaxInt64) = %v, want 1", got)
+	}
+	if got := h.SelGT(max); got != 0 {
+		t.Errorf("SelGT(MaxInt64) = %v, want 0", got)
+	}
+	if got := h.SelLT(max); got != 1 {
+		t.Errorf("SelLT(MaxInt64) = %v, want 1", got)
+	}
+	if got := h.SelGE(max); got != 0 {
+		t.Errorf("SelGE(MaxInt64) = %v, want 0", got)
+	}
+	if got := h.SelLT(min); got != 0 {
+		t.Errorf("SelLT(MinInt64) = %v, want 0", got)
+	}
+	if got := h.SelLE(min); got != 0 {
+		t.Errorf("SelLE(MinInt64) = %v, want 0", got)
+	}
+	if got := h.SelGE(min); got != 1 {
+		t.Errorf("SelGE(MinInt64) = %v, want 1", got)
+	}
+	if got := h.SelGT(min); got != 1 {
+		t.Errorf("SelGT(MinInt64) = %v, want 1", got)
+	}
+	// The extremes as actual data: a histogram whose last bound is MaxInt64
+	// must still satisfy SelLE(MaxInt64) = 1.
+	he := BuildHistogram([]int64{min, -1, 0, 1, max}, 3)
+	if got := he.SelLE(max); got != 1 {
+		t.Errorf("extreme-valued SelLE(MaxInt64) = %v, want 1", got)
+	}
+	if got := he.SelGT(max); got != 0 {
+		t.Errorf("extreme-valued SelGT(MaxInt64) = %v, want 0", got)
+	}
+	if got := he.SelLT(min); got != 0 {
+		t.Errorf("extreme-valued SelLT(MinInt64) = %v, want 0", got)
+	}
+	// Nil receivers keep the 1/3 fallback on every estimator, extremes
+	// included.
+	var nilHist *Histogram
+	for name, got := range map[string]float64{
+		"SelLE(max)": nilHist.SelLE(max), "SelGT(max)": nilHist.SelGT(max),
+		"SelLT(min)": nilHist.SelLT(min), "SelGE(min)": nilHist.SelGE(min),
+	} {
+		want := 1.0 / 3.0
+		if name == "SelGT(max)" || name == "SelGE(min)" {
+			want = 2.0 / 3.0 // complements of the 1/3 fallback
+		}
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("nil histogram %s = %v, want %v", name, got, want)
+		}
+	}
+}
+
 func TestHistogramBoundsCoverage(t *testing.T) {
 	values := []int64{1, 2, 2, 3, 5, 8, 13, 21, 34, 55}
 	h := BuildHistogram(values, 4)

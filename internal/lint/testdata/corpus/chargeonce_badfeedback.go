@@ -1,0 +1,83 @@
+//corpus:path example.com/internal/storage
+
+// Package corpusfb1 seeds accounting violations in feedback-harvest-shaped
+// code: a store that walks observed statistics and reads catalog pages while
+// charging the accountant. Same analyzer contract as chargeonce_bad.go —
+// exactly one charge per transfer, dominated by the fault check — but the
+// shapes mirror the harvest/promote/flush loop of a feedback store. Fixed
+// twins live in chargeonce_goodfeedback.go.
+package corpusfb1
+
+import "sync/atomic"
+
+type FileID uint32
+type PageID uint32
+
+type Accountant struct{ reads atomic.Int64 }
+
+func (a *Accountant) RecordRead(f FileID, p PageID) { a.reads.Add(1) }
+func (a *Accountant) RecordRandRead()               { a.reads.Add(1) }
+func (a *Accountant) RecordWrite()                  { a.reads.Add(1) }
+
+type FaultInjector struct{}
+
+func (fi *FaultInjector) beforeRead(f FileID, p PageID) error  { return nil }
+func (fi *FaultInjector) beforeWrite(f FileID, p PageID) error { return nil }
+
+type obs struct {
+	page PageID
+	err  float64
+}
+
+type fbstore struct {
+	acct    *Accountant
+	faults  atomic.Pointer[FaultInjector]
+	pending []obs
+}
+
+// harvestNode re-charges the statistics page it just charged: the second
+// site repeats the same (file, page) transfer on the same path.
+func (s *fbstore) harvestNode(f FileID, p PageID) {
+	s.acct.RecordRead(f, p)
+	s.acct.RecordRead(f, p) // want "already charged the same transfer"
+}
+
+// refreshStats charges the catalog page before consulting the injector it
+// goes on to check: the charge is reachable with the check still pending.
+func (s *fbstore) refreshStats(f FileID, p PageID) error {
+	s.acct.RecordRead(f, p) // want "fault check must dominate the charge"
+	if fi := s.faults.Load(); fi != nil {
+		if err := fi.beforeRead(f, p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promotePending records the failed check instead of returning it, so the
+// poisoned path still reaches the write charge.
+func (s *fbstore) promotePending(f FileID, p PageID) error {
+	var failed error
+	if fi := s.faults.Load(); fi != nil {
+		if err := fi.beforeWrite(f, p); err != nil {
+			failed = err // BUG: should return; the path continues to the charge
+		}
+	}
+	s.acct.RecordWrite() // want "failed fault-injector check can reach this"
+	return failed
+}
+
+// flushObservations passes the fault check, then bails out on the
+// nothing-pending path without charging the read it already performed.
+func (s *fbstore) flushObservations(f FileID, p PageID) error {
+	if fi := s.faults.Load(); fi != nil { // want "returns without charging"
+		if err := fi.beforeRead(f, p); err != nil {
+			return err
+		}
+	}
+	if len(s.pending) == 0 {
+		return nil // BUG: the read happened but is not charged here
+	}
+	s.acct.RecordRead(f, p)
+	return nil
+}

@@ -1,0 +1,96 @@
+//corpus:path example.com/internal/storage
+
+// Package corpusfb2 holds the fixed twins of chargeonce_badfeedback.go: the
+// feedback store's harvest/refresh/promote/flush paths each check the fault
+// injector ahead of exactly one charge per transfer, and failed checks
+// return before any charge. The analyzer must be silent on this file.
+package corpusfb2
+
+import "sync/atomic"
+
+type FileID uint32
+type PageID uint32
+
+type Accountant struct{ reads atomic.Int64 }
+
+func (a *Accountant) RecordRead(f FileID, p PageID) { a.reads.Add(1) }
+func (a *Accountant) RecordRandRead()               { a.reads.Add(1) }
+func (a *Accountant) RecordWrite()                  { a.reads.Add(1) }
+
+type FaultInjector struct{}
+
+func (fi *FaultInjector) beforeRead(f FileID, p PageID) error  { return nil }
+func (fi *FaultInjector) beforeWrite(f FileID, p PageID) error { return nil }
+
+type obs struct {
+	page PageID
+	err  float64
+}
+
+type fbstore struct {
+	acct    *Accountant
+	faults  atomic.Pointer[FaultInjector]
+	pending []obs
+}
+
+// harvestNode charges the statistics page exactly once, behind the check.
+func (s *fbstore) harvestNode(f FileID, p PageID) error {
+	if fi := s.faults.Load(); fi != nil {
+		if err := fi.beforeRead(f, p); err != nil {
+			return err
+		}
+	}
+	s.acct.RecordRead(f, p)
+	return nil
+}
+
+// refreshStats reads the old and new catalog page as two distinct transfers,
+// each checked and charged once.
+func (s *fbstore) refreshStats(f FileID, p PageID) error {
+	if fi := s.faults.Load(); fi != nil {
+		if err := fi.beforeRead(f, p); err != nil {
+			return err
+		}
+		if err := fi.beforeRead(f, p+1); err != nil {
+			return err
+		}
+	}
+	s.acct.RecordRead(f, p)
+	s.acct.RecordRead(f, p+1)
+	return nil
+}
+
+// promotePending returns the failed check before the write charge.
+func (s *fbstore) promotePending(f FileID, p PageID) error {
+	if fi := s.faults.Load(); fi != nil {
+		if err := fi.beforeWrite(f, p); err != nil {
+			return err
+		}
+	}
+	s.acct.RecordWrite()
+	return nil
+}
+
+// peekPending decides whether there is anything to flush before touching the
+// page at all: no transfer on the empty path, so nothing to charge.
+func (s *fbstore) peekPending(f FileID, p PageID) error {
+	if len(s.pending) == 0 {
+		return nil // no read was issued: no charge owed
+	}
+	if fi := s.faults.Load(); fi != nil {
+		if err := fi.beforeRead(f, p); err != nil {
+			return err
+		}
+	}
+	s.acct.RecordRead(f, p)
+	return nil
+}
+
+// countObservation is pure in-memory accounting of a harvested observation:
+// the random-read charge for the statistics block it samples carries no
+// dominance obligation when no injector is in scope.
+func (s *fbstore) countObservation(o obs) {
+	if s.acct != nil && o.err > 1 {
+		s.acct.RecordRandRead()
+	}
+}

@@ -46,6 +46,13 @@ const (
 	// ExhaustiveBushy extends the oracle to bushy join trees (§3.1's sketch
 	// for repairing LDL); hash and merge joins accept composite inners.
 	ExhaustiveBushy
+	// Robust scores candidate plans over an estimate-error interval
+	// [sel/e, sel·e] (and the analogous interval on expensive-predicate
+	// costs) instead of at the point estimate, picking the plan whose
+	// worst-case cost across the interval's corners is smallest — plans
+	// stable under mis-estimation win over plans optimal only if the
+	// estimates are exactly right (after arXiv 2502.15181).
+	Robust
 )
 
 // String names the algorithm.
@@ -69,13 +76,15 @@ func (a Algorithm) String() string {
 		return "Exhaustive"
 	case ExhaustiveBushy:
 		return "ExhaustiveBushy"
+	case Robust:
+		return "Robust"
 	}
 	return fmt.Sprintf("Algorithm(%d)", int(a))
 }
 
 // Algorithms lists every implemented algorithm in eagerness order.
 func Algorithms() []Algorithm {
-	return []Algorithm{NaivePushDown, PushDown, PullUp, PullRank, Migration, LDL, LDLIKKBZ, Exhaustive, ExhaustiveBushy}
+	return []Algorithm{NaivePushDown, PushDown, PullUp, PullRank, Migration, LDL, LDLIKKBZ, Exhaustive, ExhaustiveBushy, Robust}
 }
 
 // Options configures an optimization run.
@@ -104,6 +113,16 @@ type Options struct {
 	// cost model's post-LIMIT cardinalities price the ≤ k-invocations pullup
 	// incentive for predicates above the top-k boundary.
 	TopK *TopKSpec
+	// Feedback overlays promoted feedback observations (observed
+	// selectivities from past executions) onto the analyzed query before
+	// planning; refreshed function metadata flows in through the catalog
+	// regardless.
+	Feedback bool
+	// RobustE is the Robust algorithm's error-interval half-width e: each
+	// candidate is scored over selectivities [sel/e, sel·e] and expensive
+	// costs [cost/e, cost·e]. ≤ 1 uses DefaultRobustE. Ignored by the other
+	// algorithms.
+	RobustE float64
 }
 
 // Info reports planning diagnostics.
@@ -128,6 +147,13 @@ type Info struct {
 	// full input), "limit" (order-satisfying early termination), or ""
 	// (top-k planning off or inapplicable).
 	TopKKind string
+	// RobustE and RobustWorst report the Robust algorithm's error-interval
+	// half-width and the chosen plan's worst-case cost over that interval
+	// (both 0 for the other algorithms). RobustCandidates counts the
+	// distinct plan shapes scored.
+	RobustE          float64
+	RobustWorst      float64
+	RobustCandidates int
 	// Elapsed is the planning wall time.
 	Elapsed time.Duration
 }
@@ -158,6 +184,9 @@ func (o *Optimizer) Plan(q *query.Query) (plan.Node, *Info, error) {
 	if err := query.Analyze(o.cat, q); err != nil {
 		return nil, nil, err
 	}
+	if o.opts.Feedback {
+		query.ApplyFeedback(o.cat.Feedback(), q)
+	}
 	if len(q.Tables) == 0 {
 		return nil, nil, fmt.Errorf("optimizer: query has no tables")
 	}
@@ -187,6 +216,8 @@ func (o *Optimizer) Plan(q *query.Query) (plan.Node, *Info, error) {
 		root, info, err = o.planExhaustive(q)
 	case ExhaustiveBushy:
 		root, info, err = o.planExhaustiveBushy(q)
+	case Robust:
+		root, info, err = o.planRobust(q)
 	default:
 		root, info, err = o.planSystemR(q)
 	}

@@ -1,0 +1,165 @@
+package optimizer
+
+// Robust predicate placement: instead of trusting the point estimates the
+// rank metric is so sensitive to, score each candidate plan over an
+// estimate-error interval and keep the plan whose worst case is best (after
+// "Debunking the Myth of Join Ordering", arXiv 2502.15181, adapted to the
+// paper's placement problem).
+//
+// Candidate generation reuses the System R planner under the placement
+// spectrum's algorithms (PushDown, PullRank, Migration, PullUp) — and,
+// because all of them share the same estimates, additionally re-plans the
+// spectrum under the interval's endpoint selectivities (every selectivity
+// ×e and ÷e): a join order or access path that only wins when the estimates
+// are wrong by a factor of e is exactly the alternative a robust choice must
+// have available. The deduplicated candidates are then costed at the four
+// corners of the (selectivity ×e/÷e, expensive-cost ×e/÷e) error box by
+// perturbing the shared predicate annotations and re-annotating each tree;
+// the plan minimizing the maximum corner cost wins, with the nominal cost
+// breaking ties.
+
+import (
+	"strings"
+
+	"predplace/internal/cost"
+	"predplace/internal/plan"
+	"predplace/internal/query"
+)
+
+// DefaultRobustE is the error-interval half-width used when Options.RobustE
+// is unset: estimates trusted up to a factor of 4 either way.
+const DefaultRobustE = 4.0
+
+// robustSpectrum is the set of placement algorithms whose System R runs seed
+// the candidate pool — the Figure 10 eagerness spectrum.
+var robustSpectrum = []Algorithm{PushDown, PullRank, Migration, PullUp}
+
+// planRobust implements Algorithm Robust; see the file comment.
+func (o *Optimizer) planRobust(q *query.Query) (plan.Node, *Info, error) {
+	e := o.opts.RobustE
+	if e <= 1 {
+		e = DefaultRobustE
+	}
+
+	// Snapshot the nominal annotations; every perturbation below mutates the
+	// shared predicates and must restore them.
+	nominalSel := make([]float64, len(q.Preds))
+	nominalCost := make([]float64, len(q.Preds))
+	for i, p := range q.Preds {
+		nominalSel[i] = p.Selectivity
+		nominalCost[i] = p.CostPerTuple
+	}
+	restore := func() {
+		for i, p := range q.Preds {
+			p.Selectivity = nominalSel[i]
+			p.CostPerTuple = nominalCost[i]
+		}
+	}
+
+	type candidate struct {
+		root    plan.Node
+		info    *Info
+		worst   float64
+		nominal float64
+	}
+	var cands []*candidate
+	seen := map[string]bool{}
+	for _, selScale := range []float64{1, e, 1 / e} {
+		for i, p := range q.Preds {
+			p.Selectivity = clampSel(nominalSel[i] * selScale)
+		}
+		for _, a := range robustSpectrum {
+			sub := *o
+			sub.opts.Algorithm = a
+			root, info, err := sub.planSystemR(q)
+			if err != nil {
+				restore()
+				return nil, nil, err
+			}
+			key := planShapeKey(root)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			cands = append(cands, &candidate{root: root, info: info})
+		}
+	}
+
+	// Score every candidate at the four corners of the error box. A corner
+	// scales all selectivities by one factor and all expensive per-tuple
+	// costs by another; cheap predicates (cost 0) stay free.
+	corners := [4][2]float64{{e, e}, {e, 1 / e}, {1 / e, e}, {1 / e, 1 / e}}
+	for _, c := range cands {
+		for _, corner := range corners {
+			for i, p := range q.Preds {
+				p.Selectivity = clampSel(nominalSel[i] * corner[0])
+				p.CostPerTuple = nominalCost[i] * corner[1]
+			}
+			if err := o.model.Annotate(c.root); err != nil {
+				restore()
+				return nil, nil, err
+			}
+			if got := c.root.Cost(); got > c.worst {
+				c.worst = got
+			}
+		}
+	}
+
+	// Restore the nominal annotations on every candidate tree — the chosen
+	// plan leaves the planner carrying point-estimate cards and costs, like
+	// every other algorithm's output.
+	restore()
+	for _, c := range cands {
+		if err := o.model.Annotate(c.root); err != nil {
+			return nil, nil, err
+		}
+		c.nominal = c.root.Cost()
+	}
+
+	best := cands[0]
+	for _, c := range cands[1:] {
+		switch {
+		case !cost.ApproxEq(c.worst, best.worst):
+			if c.worst < best.worst {
+				best = c
+			}
+		case !cost.ApproxEq(c.nominal, best.nominal) && c.nominal < best.nominal:
+			best = c
+		}
+	}
+	info := best.info
+	info.RobustE = e
+	info.RobustWorst = best.worst
+	info.RobustCandidates = len(cands)
+	return best.root, info, nil
+}
+
+// clampSel keeps a perturbed selectivity a valid probability.
+func clampSel(s float64) float64 {
+	if s < 0 {
+		return 0
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}
+
+// planShapeKey reduces a plan to its operator structure, dropping the
+// per-node estimate annotations: two candidates planned under different
+// scenario selectivities are the same plan exactly when they run the same
+// operators in the same tree.
+func planShapeKey(n plan.Node) string {
+	var b strings.Builder
+	var walk func(plan.Node, int)
+	walk = func(n plan.Node, depth int) {
+		b.WriteString(strings.Repeat(" ", depth))
+		b.WriteString(n.Describe())
+		b.WriteByte('\n')
+		for _, c := range n.Children() {
+			walk(c, depth+1)
+		}
+	}
+	walk(n, 0)
+	return b.String()
+}

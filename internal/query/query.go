@@ -238,6 +238,27 @@ func Analyze(cat *catalog.Catalog, q *Query) error {
 	return nil
 }
 
+// ApplyFeedback overlays promoted feedback observations onto an analyzed
+// query: a comparison or join predicate whose rendered fingerprint has an
+// applied observed selectivity uses it ahead of the histogram/default guess
+// Analyze just filled in. Function predicates are deliberately skipped —
+// their refreshed metadata lives on the re-registered FuncDef, which Analyze
+// already read (feedback promotion bumps the catalog version, so every
+// cached plan re-binds against the refreshed definition).
+func ApplyFeedback(fb *catalog.FeedbackStore, q *Query) {
+	if fb == nil {
+		return
+	}
+	for _, p := range q.Preds {
+		if p.Kind == KindFunc {
+			continue
+		}
+		if sel, ok := fb.AppliedSel(p.String()); ok {
+			p.Selectivity = sel
+		}
+	}
+}
+
 // cmpSelectivity estimates the fraction of tuples satisfying col op value,
 // System R style: 1/distinct for equality, interpolation on [min,max] for
 // ranges, with the classic fallback constants.

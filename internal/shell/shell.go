@@ -24,6 +24,7 @@ var AlgoNames = map[string]predplace.Algorithm{
 	"ldl":        predplace.LDL,
 	"ldl-ikkbz":  predplace.LDLIKKBZ,
 	"exhaustive": predplace.Exhaustive,
+	"robust":     predplace.Robust,
 }
 
 // Session is one interactive shell session over a database.
@@ -77,6 +78,10 @@ func (s *Session) Execute(line string, w io.Writer) bool {
 		on := strings.HasSuffix(line, "on")
 		s.DB.SetTopK(on)
 		say(w, "top-k execution:", on)
+	case strings.HasPrefix(line, `\feedback`):
+		on := strings.HasSuffix(line, "on")
+		s.DB.SetFeedback(on)
+		say(w, "feedback-driven statistics:", on)
 	case line == `\tables`:
 		s.cmdTables(w)
 	case strings.HasPrefix(line, `\save `):
@@ -122,6 +127,7 @@ func (s *Session) cmdHelp(w io.Writer) {
   \caching on|off   toggle predicate caching
   \transfer on|off  toggle predicate transfer (Bloom pre-filtering)
   \topk on|off      toggle top-k execution (bounded-heap ORDER BY/LIMIT)
+  \feedback on|off  toggle feedback-driven statistics (observed selectivities)
   \tables           list relations
   \funcs            list registered functions
   \save <path>      snapshot the database to a file

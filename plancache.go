@@ -28,6 +28,11 @@ type planKey struct {
 	caching  bool
 	transfer bool
 	topk     bool
+	// feedback and robustE are planning-affecting: the feedback overlay
+	// changes the selectivities the optimizer sees, and the Robust
+	// algorithm's plan depends on its error-interval half-width.
+	feedback bool
+	robustE  float64
 	catVer   int64
 }
 

@@ -124,6 +124,37 @@ func TestPlanCacheInvalidation(t *testing.T) {
 	}
 }
 
+// TestPlanCacheRegisterFuncInvalidation pins the fix for stale plans
+// surviving a function re-registration: replacing a function's metadata bumps
+// the catalog version, so the next lookup misses and re-plans under the new
+// declaration instead of silently serving the plan optimized for the old one.
+func TestPlanCacheRegisterFuncInvalidation(t *testing.T) {
+	db, err := predplace.Open(predplace.Config{Scale: 0.005, Tables: []int{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.RegisterFunc("flip", 1, 50, 0.01, func(args []predplace.Value) predplace.Value {
+		return predplace.Bool(true)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sql := "SELECT * FROM t1, t2 WHERE t1.ua1 = t2.ua1 AND flip(t1.u10)"
+	mustQuery(t, db, sql)
+	if h, m, _ := cacheDelta(t, db, func() { mustQuery(t, db, sql) }); h != 1 || m != 0 {
+		t.Fatalf("warm: hits=%d misses=%d, want 1/0", h, m)
+	}
+	// Re-registering with different metadata replaces the definition; the
+	// cached plan was optimized for sel=0.01 and must not be served again.
+	if err := db.RegisterFunc("flip", 1, 50, 0.99, func(args []predplace.Value) predplace.Value {
+		return predplace.Bool(true)
+	}); err != nil {
+		t.Fatalf("re-register: %v", err)
+	}
+	if h, m, _ := cacheDelta(t, db, func() { mustQuery(t, db, sql) }); h != 0 || m != 1 {
+		t.Fatalf("after re-register: hits=%d misses=%d, want 0/1 (stale plan served)", h, m)
+	}
+}
+
 func TestPlanCacheDisabled(t *testing.T) {
 	db, err := predplace.Open(predplace.Config{Scale: 0.005, Tables: []int{1}, PlanCacheSize: -1})
 	if err != nil {

@@ -56,6 +56,10 @@ const (
 	Exhaustive    = optimizer.Exhaustive
 	// ExhaustiveBushy extends the oracle to bushy join trees.
 	ExhaustiveBushy = optimizer.ExhaustiveBushy
+	// Robust picks the plan minimizing worst-case cost over an estimate-error
+	// interval [sel/e, sel·e] (see Config.RobustE) instead of the point
+	// estimate.
+	Robust = optimizer.Robust
 )
 
 // Algorithms lists every implemented placement algorithm.
@@ -138,6 +142,31 @@ type Config struct {
 	// planning-affecting knobs, and the catalog version, so a hit is always
 	// the plan that planning would have produced.
 	PlanCacheSize int
+	// Feedback enables feedback-driven statistics: every query runs with the
+	// per-operator profile on, observed per-predicate/per-join selectivities
+	// and measured real-work function costs are harvested into the catalog's
+	// feedback store at query end, and when any observation's error factor
+	// exceeds FeedbackThreshold the batch is promoted — future planning uses
+	// the observed selectivities ahead of histogram/default guesses,
+	// registered functions' metadata is refreshed from the measured actuals,
+	// and the catalog version bump re-optimizes every cached plan. Results,
+	// row order, and charged cost of any single query are identical with it
+	// on or off (harvesting is observational); only subsequent plans change.
+	// Off by default — planning and execution are byte-identical to a
+	// feedback-less build.
+	Feedback bool
+	// FeedbackThreshold is the ×err estimation-error factor above which
+	// harvested observations are promoted into planning statistics
+	// (0 = DefaultFeedbackThreshold). Always compared against finite,
+	// capped error factors — a zero estimate against a nonzero actual
+	// reports the cap, never ±Inf.
+	FeedbackThreshold float64
+	// RobustE is the Robust algorithm's estimate-error interval half-width e:
+	// candidate plans are scored over selectivities [sel/e, sel·e] and
+	// expensive predicate costs [cost/e, cost·e], and the plan with the best
+	// worst case wins (0 = DefaultRobustE). Planning-affecting: part of the
+	// plan-cache key.
+	RobustE float64
 }
 
 // knobs is the per-query execution configuration. Every statement entry
@@ -157,6 +186,9 @@ type knobs struct {
 	profile     bool
 	transfer    bool
 	topk        bool
+	feedback    bool
+	fbThreshold float64
+	robustE     float64
 }
 
 // DB is an open database handle, safe for concurrent use: any number of
@@ -220,6 +252,9 @@ func Open(cfg Config) (*DB, error) {
 			parallelism: workers, batchSize: cfg.BatchSize,
 			timeout: cfg.Timeout, profile: cfg.Profile,
 			transfer: cfg.Transfer, topk: cfg.TopK,
+			feedback:    cfg.Feedback,
+			fbThreshold: resolveThreshold(cfg.FeedbackThreshold),
+			robustE:     resolveRobustE(cfg.RobustE),
 		},
 		validate: os.Getenv("PPLINT_VALIDATE") == "1",
 		plans:    newPlanCache(planEntries),
@@ -382,6 +417,70 @@ func (d *DB) TopK() bool {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.k.topk
+}
+
+// DefaultFeedbackThreshold is the ×err factor above which harvested
+// feedback observations are promoted when Config.FeedbackThreshold is 0:
+// an estimate off by more than 2× either way triggers re-optimization.
+const DefaultFeedbackThreshold = 2.0
+
+// DefaultRobustE is the Robust algorithm's error-interval half-width when
+// Config.RobustE is 0.
+const DefaultRobustE = optimizer.DefaultRobustE
+
+// resolveThreshold normalizes a Config.FeedbackThreshold value.
+func resolveThreshold(t float64) float64 {
+	if t <= 0 {
+		return DefaultFeedbackThreshold
+	}
+	return t
+}
+
+// resolveRobustE normalizes a Config.RobustE value.
+func resolveRobustE(e float64) float64 {
+	if e <= 1 {
+		return DefaultRobustE
+	}
+	return e
+}
+
+// SetFeedback toggles feedback-driven statistics for subsequent queries
+// (see Config.Feedback). Each query's own results and charged cost are
+// unaffected; the plans of later queries are what change.
+func (d *DB) SetFeedback(on bool) {
+	d.mu.Lock()
+	d.k.feedback = on
+	d.mu.Unlock()
+}
+
+// Feedback reports whether feedback-driven statistics are currently enabled.
+func (d *DB) Feedback() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.k.feedback
+}
+
+// SetFeedbackThreshold changes the promotion threshold for subsequent
+// queries (≤ 0 = DefaultFeedbackThreshold); see Config.FeedbackThreshold.
+func (d *DB) SetFeedbackThreshold(t float64) {
+	d.mu.Lock()
+	d.k.fbThreshold = resolveThreshold(t)
+	d.mu.Unlock()
+}
+
+// SetRobustE changes the Robust algorithm's error-interval half-width for
+// subsequent queries (≤ 1 = DefaultRobustE); see Config.RobustE.
+func (d *DB) SetRobustE(e float64) {
+	d.mu.Lock()
+	d.k.robustE = resolveRobustE(e)
+	d.mu.Unlock()
+}
+
+// FeedbackStats snapshots the catalog feedback store's counters: harvested
+// observations, pending and applied entries, promotions, and the largest
+// pending error factor (always finite).
+func (d *DB) FeedbackStats() catalog.FeedbackStats {
+	return d.inner.Cat.Feedback().Stats()
 }
 
 // FaultConfig configures the deterministic storage fault injector; see
@@ -670,6 +769,7 @@ func (d *DB) prepare(sql string, algo Algorithm, k knobs) (*PreparedStatement, e
 	key := planKey{
 		sql: normalizeSQL(sql), algo: algo,
 		caching: k.caching, transfer: k.transfer, topk: k.topk,
+		feedback: k.feedback, robustE: k.robustE,
 		catVer: d.inner.Cat.Version(),
 	}
 	if d.plans != nil {
@@ -696,7 +796,7 @@ func (d *DB) execPrepared(ctx context.Context, p *PreparedStatement, k knobs) (*
 	// transfer on it includes the prepass's estimated cost (identical to
 	// root.Cost() otherwise).
 	res := &Result{
-		Plan:    plan.Render(root),
+		Plan:    plan.Render(root) + robustSummary(info),
 		EstCost: info.EstCost,
 		Info:    *info,
 	}
@@ -710,18 +810,33 @@ func (d *DB) execPrepared(ctx context.Context, p *PreparedStatement, k knobs) (*
 	// EXPLAIN ANALYZE always profiles its statement: the profile is the
 	// point of the command, and every plan node then has an actual row
 	// count (probe-driven inner chains and never-reached subtrees
-	// included), so "actual=n/a" cannot appear.
-	env.Profile = k.profile || bound.Explain
+	// included), so "actual=n/a" cannot appear. Feedback harvesting needs
+	// the same per-operator actuals, so it forces profiling too — but only
+	// an explicit request surfaces the profile on the Result below.
+	env.Profile = k.profile || bound.Explain || k.feedback
 	out, err := exec.Run(env, root)
 	if err != nil {
 		return nil, err
 	}
 	res.Stats = out.Stats
 	res.DNF = out.DNF
-	res.Profile = out.Profile
+	if k.profile || bound.Explain {
+		res.Profile = out.Profile
+	}
+	// Harvest observed selectivities and measured function costs into the
+	// catalog's feedback store, then promote the batch when any observation
+	// is off by more than the threshold. A DNF query stopped mid-stream, so
+	// its per-operator ratios are truncation artifacts, not selectivities.
+	if k.feedback && out.Profile != nil && !out.DNF {
+		fb := d.inner.Cat.Feedback()
+		harvestFeedback(fb, root, out.Profile)
+		if fb.MaxPendingErr() > k.fbThreshold {
+			d.inner.Cat.ApplyFeedback()
+		}
+	}
 	if bound.Explain { // EXPLAIN ANALYZE: annotated plan, no result rows
 		res.Explained = true
-		res.Plan = analyzedPlan(root, out)
+		res.Plan = analyzedPlan(root, out) + robustSummary(info)
 		return res, nil
 	}
 	res.Cols, res.Rows = project(root, bound, out)
@@ -910,7 +1025,20 @@ func (d *DB) Explain(sql string, algo Algorithm) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	return plan.Render(p.root), nil
+	return plan.Render(p.root) + robustSummary(p.info), nil
+}
+
+// robustSummary is the EXPLAIN line describing the Robust algorithm's
+// error-interval scoring: the interval the candidates were scored over, the
+// chosen plan's worst-case cost across it, and how many distinct plan shapes
+// competed. Empty for every other algorithm — their EXPLAIN output stays
+// byte-identical.
+func robustSummary(info *optimizer.Info) string {
+	if info.Algorithm != optimizer.Robust || info.RobustE <= 0 {
+		return ""
+	}
+	return fmt.Sprintf("robust interval=[sel/%g, sel×%g] worst-case=%.0f candidates=%d\n",
+		info.RobustE, info.RobustE, info.RobustWorst, info.RobustCandidates)
 }
 
 // execCtx layers a per-query timeout onto ctx; the returned cancel function
@@ -951,7 +1079,8 @@ func (d *DB) plan(sql string, algo Algorithm, k knobs) (plan.Node, *sqlparse.Bou
 	}
 	opt := optimizer.New(d.inner.Cat, optimizer.Options{
 		Algorithm: algo, Caching: k.caching, Transfer: k.transfer,
-		TopK: topkSpec(bound, k.topk),
+		TopK:     topkSpec(bound, k.topk),
+		Feedback: k.feedback, RobustE: k.robustE,
 	})
 	root, info, err := opt.Plan(bound.Query)
 	if err != nil {
